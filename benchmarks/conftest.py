@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs its experiment driver exactly once (the drivers are
+multi-second simulations; statistical repetition adds nothing) and prints
+the paper-shaped rows/series so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the evaluation section's data.
+"""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

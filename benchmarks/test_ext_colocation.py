@@ -1,0 +1,30 @@
+"""Bench: co-located tenants with diverse compressibility (paper §3.4's
+motivation and §9's research direction v).
+
+Shape expectation: the analytical model places each tenant's data
+according to its own compressibility -- the graph tenant (nci-like,
+highly compressible) reaches deeper TCO savings per demoted page than
+the KV tenant, and both tenants see positive savings from the shared
+spectrum of tiers.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import exp_colocation
+from repro.bench.reporting import format_table
+
+
+def test_ext_colocation(benchmark):
+    rows = run_once(benchmark, exp_colocation, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Co-located tenants on one spectrum"))
+    by_tenant = {r["tenant"]: r for r in rows}
+    tenant_rows = [r for r in rows if r["tenant"] != "TOTAL"]
+    assert len(tenant_rows) == 2
+    for row in tenant_rows:
+        assert row["tco_savings_pct"] > 5.0, row["tenant"]
+    # Total savings is the page-weighted combination of tenant savings.
+    total = by_tenant["TOTAL"]["tco_savings_pct"]
+    lo = min(r["tco_savings_pct"] for r in tenant_rows)
+    hi = max(r["tco_savings_pct"] for r in tenant_rows)
+    assert lo - 1.0 <= total <= hi + 1.0

@@ -1,0 +1,63 @@
+"""Benches for the paper's extension features.
+
+* §3.2 (future work): spatial prefetching from compressed tiers.
+* §7.1 (noted optimization): same-algorithm compressed-to-compressed
+  migration without the decompress/recompress round trip.
+* §9 (research direction): automatic selection of the compressed-tier
+  set from the 63-option space.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import (
+    ablation_fast_migration,
+    ablation_prefetch,
+    ablation_tier_selection,
+)
+from repro.bench.reporting import format_table
+
+
+def test_ext_prefetch(benchmark):
+    rows = run_once(benchmark, ablation_prefetch, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Extension: spatial prefetcher"))
+    by_config = {r["config"]: r for r in rows}
+    # Prefetching converts demand faults into background work.
+    assert by_config["prefetch-8"]["faults"] <= by_config["no-prefetch"]["faults"]
+    assert by_config["prefetch-8"]["prefetches"] > 0
+    # Deeper prefetching issues at least as many prefetches.
+    assert (
+        by_config["prefetch-8"]["prefetches"]
+        >= by_config["prefetch-4"]["prefetches"]
+    )
+
+
+def test_ext_fast_migration(benchmark):
+    rows = run_once(benchmark, ablation_fast_migration, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Extension: same-algorithm fast migration"))
+    by_config = {r["config"]: r for r in rows}
+    # The fast path never increases migration cost, and placement
+    # outcomes stay equivalent.
+    assert (
+        by_config["fast-same-algo"]["migration_ms"]
+        <= by_config["naive-path"]["migration_ms"]
+    )
+    assert abs(
+        by_config["fast-same-algo"]["tco_savings_pct"]
+        - by_config["naive-path"]["tco_savings_pct"]
+    ) < 5.0
+
+
+def test_ext_tier_selection(benchmark):
+    rows = run_once(benchmark, ablation_tier_selection, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Extension: automatic tier-set selection"))
+    by_config = {r["config"]: r for r in rows}
+    auto = by_config["auto-selected"]
+    hand = by_config["hand-picked"]
+    # The auto-selected spectrum is competitive with the paper's
+    # hand-picked one: within a few points on savings without blowing up
+    # the slowdown.
+    assert auto["tco_savings_pct"] >= hand["tco_savings_pct"] - 5.0
+    assert auto["slowdown_pct"] <= max(10.0, 3 * max(1e-9, hand["slowdown_pct"]))

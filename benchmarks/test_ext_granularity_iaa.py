@@ -1,0 +1,32 @@
+"""Benches: the region-vs-page granularity ablation (DESIGN.md §5.1) and
+the hardware-compression (IAA) tier experiment."""
+
+from conftest import run_once
+
+from repro.bench.experiments import ablation_granularity, exp_iaa_tier
+from repro.bench.reporting import format_table
+
+
+def test_ablation_granularity(benchmark):
+    rows = run_once(benchmark, ablation_granularity, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Ablation: 2MB regions vs 4KB LRU"))
+    by_gran = {r["granularity"]: r for r in rows}
+    # The paper's §7.2 rationale: region-granularity management needs
+    # orders of magnitude fewer placement operations.
+    assert (
+        by_gran["2MB-regions"]["migration_ops"] * 10
+        < by_gran["4KB-LRU"]["migration_ops"]
+    )
+    for row in rows:
+        assert row["tco_savings_pct"] > 10.0
+
+
+def test_ext_iaa_tier(benchmark):
+    rows = run_once(benchmark, exp_iaa_tier, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Hardware (IAA) vs software compression tier"))
+    by_tier = {r["tier"]: r for r in rows}
+    hw, sw = by_tier["hw-iaa-deflate"], by_tier["sw-zstd"]
+    assert hw["tco_savings_pct"] >= sw["tco_savings_pct"] - 1.0
+    assert hw["slowdown_pct"] <= sw["slowdown_pct"] + 0.5

@@ -1,0 +1,38 @@
+"""Benches for the SLA auto-tuner and the extended related-work baselines."""
+
+from conftest import run_once
+
+from repro.bench.experiments import exp_extended_baselines, exp_sla
+from repro.bench.reporting import format_table
+
+
+def test_ext_sla(benchmark):
+    rows = run_once(benchmark, exp_sla, windows=15, seed=0)
+    print()
+    print(format_table(rows, title="SLA-aware knob auto-tuning"))
+    # A looser SLA harvests at least as much TCO as a tighter one.
+    tight, mid, loose = rows
+    assert loose["tco_savings_pct"] >= tight["tco_savings_pct"] - 1.0
+    # The achieved slowdown respects each SLA on average.
+    for row in rows:
+        assert row["achieved_slowdown_pct"] <= row["sla_slowdown_pct"] + 3.0
+    # The controller actually moved the knob.
+    assert any(row["final_alpha"] != 0.9 for row in rows)
+
+
+def test_ext_extended_baselines(benchmark):
+    rows = run_once(benchmark, exp_extended_baselines, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Extended baselines vs TierScape"))
+    by_policy = {r["policy"]: r for r in rows}
+    # Every baseline saves something at the 50 %-aggressiveness setting.
+    for row in rows:
+        assert row["tco_savings_pct"] > 3.0, row["policy"]
+    # TierScape's analytical model still saves the most TCO.
+    best = max(rows, key=lambda r: r["tco_savings_pct"])
+    assert best["policy"] == "AM-TCO"
+    # TPP's hysteresis migrates fewer pages than the one-shot MEMTIS split.
+    assert (
+        by_policy["TPP*(NVMM)"]["pages_migrated"]
+        <= by_policy["MEMTIS*(NVMM)"]["pages_migrated"]
+    )

@@ -1,0 +1,26 @@
+"""Figure 1: TCO savings vs slowdown for 20/50/80 % placement of Memcached
+data into a single compressed tier.
+
+Paper numbers (Memcached, DRAM + one compressed tier):
+  20 % placed -> 11 % savings at  9.5 % slowdown
+  50 % placed -> 16 % savings at 13.5 % slowdown
+  80 % placed -> 32 % savings at 20   % slowdown
+Shape reproduced: both savings and slowdown rise monotonically with the
+placed fraction.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig01_motivation
+from repro.bench.reporting import format_table
+
+
+def test_fig01_motivation(benchmark):
+    rows = run_once(benchmark, fig01_motivation, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Figure 1: aggressiveness on one compressed tier"))
+    savings = [r["tco_savings_pct"] for r in rows]
+    slowdowns = [r["slowdown_pct"] for r in rows]
+    assert savings[0] < savings[1] < savings[2]
+    assert slowdowns[0] <= slowdowns[2]
+    assert slowdowns[2] > 0

@@ -1,0 +1,36 @@
+"""Figure 2: characterization of 12 compressed tiers on nci/dickens-like
+corpora.
+
+Paper shape: (a) lz4 tiers fastest, deflate slowest; zbud faster than
+zsmalloc; DRAM backing faster than Optane.  (b) deflate + zsmalloc +
+Optane (C12) saves the most TCO; zbud caps savings at ~50 %; Optane-backed
+tiers always cost less than their DRAM twins.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig02_characterization
+from repro.bench.reporting import format_table
+
+
+def test_fig02_characterization(benchmark):
+    rows = run_once(benchmark, fig02_characterization, pages_per_dataset=128, seed=0)
+    print()
+    print(format_table(rows, title="Figure 2: compressed-tier characterization"))
+    by_tier = {r["tier"]: r for r in rows}
+    # 2a: algorithm dominates latency; media stretches it.
+    assert (
+        by_tier["C1"]["dickens_latency_us"]
+        < by_tier["C5"]["dickens_latency_us"]
+        < by_tier["C9"]["dickens_latency_us"]
+    )
+    assert by_tier["C2"]["dickens_latency_us"] > by_tier["C1"]["dickens_latency_us"]
+    # 2b: C12 offers the best TCO savings of all 12 tiers on nci.
+    best = max(rows, key=lambda r: r["nci_tco_savings_pct"])
+    assert best["tier"] == "C12"
+    # Optane twin always cheaper than the DRAM tier.
+    for dram_t, op_t in (("C1", "C2"), ("C3", "C4"), ("C11", "C12")):
+        assert (
+            by_tier[op_t]["nci_tco_savings_pct"]
+            > by_tier[dram_t]["nci_tco_savings_pct"]
+        )

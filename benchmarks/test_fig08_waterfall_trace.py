@@ -1,0 +1,41 @@
+"""Figure 8: Waterfall per-window placement and TCO trend for
+Memcached/YCSB.
+
+Paper shape: good utilization of all tiers; pages first waterfall to NVMM
+and then age into better TCO-saving tiers, reducing memory TCO.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.experiments import fig08_waterfall_trace
+from repro.bench.reporting import format_series, format_table
+
+
+def test_fig08_waterfall_trace(benchmark):
+    result = run_once(benchmark, fig08_waterfall_trace, windows=15, seed=0)
+    print()
+    rows = [
+        {"window": w, **dict(zip(result["tiers"], placement)),
+         "tco_savings_pct": 100 * s}
+        for w, (placement, s) in enumerate(
+            zip(result["placement_per_window"], result["tco_savings_per_window"])
+        )
+    ]
+    print(format_table(rows, title="Figure 8: Waterfall placement per window"))
+    print(
+        format_series(
+            "tco_savings",
+            range(len(rows)),
+            [100 * s for s in result["tco_savings_per_window"]],
+            "window",
+            "savings_pct",
+        )
+    )
+    placements = np.array(result["placement_per_window"])
+    # Window 0 demotes straight to NVMM (tier 1), not further.
+    assert placements[0, 1] > 0 and placements[0, 3] == 0
+    # By the end, the best TCO tier (CT-2) holds data.
+    assert placements[-1, 3] > 0
+    # Upfront savings from the first window.
+    assert result["tco_savings_per_window"][0] > 0.10

@@ -1,0 +1,35 @@
+"""Figure 11: Redis average / p95 / p99.9 latency, normalized to DRAM.
+
+Paper shape: both TierScape configurations (AM-TCO, AM-perf) beat the
+single-slow-tier baselines and Waterfall on tail latency; TMO*'s average
+latency beats HeMem*'s because faulted pages get promoted to DRAM while
+HeMem* keeps serving from NVMM.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig11_tail_latency
+from repro.bench.reporting import format_table
+
+
+def test_fig11_tail_latency(benchmark):
+    rows = run_once(benchmark, fig11_tail_latency, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Figure 11: Redis latency (normalized to DRAM)"))
+    by_policy = {r["policy"]: r for r in rows}
+    # TierScape's AM configurations beat the compressed-tier baselines and
+    # Waterfall on p99.9 by a wide margin (they scatter pages by hotness
+    # instead of faulting the warm set out of one slow tier).
+    worst_am_tail = max(
+        by_policy["AM-TCO"]["p999_norm"], by_policy["AM-perf"]["p999_norm"]
+    )
+    for baseline in ("GSwap*", "TMO*", "Waterfall"):
+        assert worst_am_tail * 5 <= by_policy[baseline]["p999_norm"], baseline
+    # AM-perf holds full DRAM-parity tails.
+    assert by_policy["AM-perf"]["p999_norm"] == 1.0
+    # Averages stay near DRAM parity for every policy (normalized ~1).
+    for row in rows:
+        assert row["avg_norm"] < 3.0
+    # p99.9 >= p95 for all.
+    for row in rows:
+        assert row["p999_norm"] >= row["p95_norm"]

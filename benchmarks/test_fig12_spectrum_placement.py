@@ -1,0 +1,38 @@
+"""Figure 12: Waterfall and analytical-model placement at three
+aggressiveness levels over the 6-tier spectrum (DRAM + C1/C2/C4/C7/C12).
+
+Paper shape: more aggressive settings place less data in DRAM; the
+analytical model scatters regions across multiple compressed tiers rather
+than using one.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig12_spectrum_placement
+from repro.bench.reporting import format_table
+
+
+def test_fig12_spectrum_placement(benchmark):
+    rows = run_once(benchmark, fig12_spectrum_placement, windows=12, seed=0)
+    print()
+    print(format_table(rows, title="Figure 12: spectrum placement by aggressiveness"))
+    by_config = {r["config"]: r for r in rows}
+    # Aggressiveness reduces the DRAM share for both models.
+    for model in ("WF", "AM"):
+        conservative = by_config[f"{model}-C"]["DRAM"]
+        aggressive = by_config[f"{model}-A"]["DRAM"]
+        assert aggressive <= conservative
+    # Aggressive settings achieve more savings than conservative ones.
+    for model in ("WF", "AM"):
+        assert (
+            by_config[f"{model}-A"]["tco_savings_pct"]
+            >= by_config[f"{model}-C"]["tco_savings_pct"]
+        )
+    # The aggressive AM uses at least two non-DRAM tiers simultaneously.
+    aggressive_am = by_config["AM-A"]
+    non_dram_used = sum(
+        1
+        for name in ("C1", "C2", "C4", "C7", "C12")
+        if aggressive_am.get(name, 0) > 0
+    )
+    assert non_dram_used >= 1

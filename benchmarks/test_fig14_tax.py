@@ -1,0 +1,36 @@
+"""Figure 14: the TierScape tax -- profiling + modeling + migration
+overhead for AM-TCO/AM-perf with the ILP solved locally or remotely.
+
+Paper shape: profiling alone is minimal; local and remote solving perform
+about the same because the ILP is tiny (<0.3 % of a CPU, ~480 MB); the
+dominant daemon cost is migration.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig14_tax
+from repro.bench.reporting import format_table
+
+
+def test_fig14_tax(benchmark):
+    rows = run_once(benchmark, fig14_tax, windows=10, seed=0)
+    print()
+    print(format_table(rows, title="Figure 14: TierScape tax"))
+    by_config = {r["config"]: r for r in rows}
+    # Profiling-only overhead is minimal (paper: negligible).
+    assert by_config["only-profiling"]["tax_pct_of_app"] < 20.0
+    assert (
+        by_config["only-profiling"]["tax_pct_of_app"]
+        >= by_config["baseline"]["tax_pct_of_app"]
+    )
+    # Local vs remote solver: negligible difference in application
+    # slowdown (the solver runs off the critical path either way).
+    for preset in ("AM-TCO", "AM-perf"):
+        local = by_config[f"{preset}-Local"]
+        remote = by_config[f"{preset}-Remote"]
+        assert abs(local["slowdown_pct"] - remote["slowdown_pct"]) < 5.0
+        # Remote excludes solver time from the local tax.
+        assert remote["tax_pct_of_app"] <= local["tax_pct_of_app"] + 1e-9
+    # The solver itself is cheap relative to migration (paper: <0.3 % CPU).
+    local = by_config["AM-TCO-Local"]
+    assert local["solver_ms"] < max(1.0, 2 * local["migration_ms"])

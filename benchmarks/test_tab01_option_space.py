@@ -1,0 +1,23 @@
+"""Table 1: the compressed-tier option space available in Linux.
+
+Paper: 7 compression algorithms x 3 pool allocators x 3 backing media
+= 63 configurable compressed tiers.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import tab01_option_space
+from repro.bench.reporting import format_table
+
+
+def test_tab01_option_space(benchmark):
+    rows = run_once(benchmark, tab01_option_space)
+    print()
+    print(format_table(rows[:9], title="Table 1 (first 9 of 63 tier options)"))
+    assert len(rows) == 63
+    algorithms = {r["algorithm"] for r in rows}
+    allocators = {r["allocator"] for r in rows}
+    backings = {r["backing"] for r in rows}
+    assert len(algorithms) == 7
+    assert allocators == {"zsmalloc", "zbud", "z3fold"}
+    assert backings == {"DRAM", "CXL", "NVMM"}

@@ -1,0 +1,27 @@
+"""Table 2: workload descriptions and configurations (paper vs simulated
+RSS)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import tab02_workloads
+from repro.bench.reporting import format_table
+
+
+def test_tab02_workloads(benchmark):
+    rows = run_once(benchmark, tab02_workloads)
+    print()
+    print(format_table(rows, title="Table 2: workloads"))
+    names = {r["workload"] for r in rows}
+    assert {
+        "memcached-ycsb",
+        "memcached-memtier",
+        "redis-ycsb",
+        "bfs",
+        "pagerank",
+        "xsbench",
+        "graphsage",
+        "masim",
+    } <= names
+    # XSBench has the largest paper RSS (119 GB), as in Table 2.
+    biggest = max(rows, key=lambda r: r["paper_rss_gb"])
+    assert biggest["workload"] == "xsbench"

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Compare telemetry backends driving the same placement model.
+
+TierScape profiles with Intel PEBS (paper §7.2); its related work also
+uses ACCESSED-bit scanning (Google's far-memory system) and DAMON-style
+sampling.  All three are implemented behind one interface -- this example
+runs the analytical model on identical workloads with each backend and
+shows the accuracy/overhead trade-off.
+
+Run:
+    python examples/telemetry_backends.py
+"""
+
+from repro.bench.experiments import ablation_telemetry
+from repro.bench.reporting import format_table
+
+
+def main() -> None:
+    print("Telemetry backends driving AM-TCO on Memcached + YCSB\n")
+    rows = ablation_telemetry(windows=10, seed=0)
+    print(format_table(rows, title="PEBS vs idle-bit vs DAMON"))
+    print(
+        "PEBS sees per-access counts (richest hotness signal, overhead\n"
+        "scales with access rate); idle-bit scanning sees only touched\n"
+        "bits (overhead scales with memory size); DAMON probes a fixed\n"
+        "sample budget (cheapest, noisiest).  All three expose enough\n"
+        "cold data for double-digit TCO savings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for PEP 660
+editable installs; offline boxes without ``wheel`` can fall back to the
+legacy path via this shim (``pip install -e . --no-use-pep517``).  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

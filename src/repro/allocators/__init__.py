@@ -1,0 +1,37 @@
+"""Pool allocators for compressed objects (paper §2, "Pool managers").
+
+Linux zswap stores compressed pages as objects inside a *pool* of physical
+pages obtained from the buddy allocator.  Three pool managers exist, and the
+choice determines a compressed tier's packing density (hence its TCO
+savings) and its management overhead (hence part of its access latency):
+
+* :class:`~repro.allocators.zbud.ZbudAllocator` -- at most two objects per
+  4 KB page; simple and fast, caps savings at 50 %.
+* :class:`~repro.allocators.z3fold.Z3foldAllocator` -- at most three
+  objects per page, caps savings at ~66 %.
+* :class:`~repro.allocators.zsmalloc.ZsmallocAllocator` -- size-class based
+  dense packing across multi-page zspages; best density, highest
+  management overhead.
+
+All three allocate their backing pages from a from-scratch
+:class:`~repro.allocators.buddy.BuddyAllocator`.
+"""
+
+from repro.allocators.base import AllocationError, Handle, PoolAllocator
+from repro.allocators.buddy import BuddyAllocator
+from repro.allocators.registry import ALLOCATOR_FACTORIES, make_allocator
+from repro.allocators.z3fold import Z3foldAllocator
+from repro.allocators.zbud import ZbudAllocator
+from repro.allocators.zsmalloc import ZsmallocAllocator
+
+__all__ = [
+    "ALLOCATOR_FACTORIES",
+    "AllocationError",
+    "BuddyAllocator",
+    "Handle",
+    "PoolAllocator",
+    "Z3foldAllocator",
+    "ZbudAllocator",
+    "ZsmallocAllocator",
+    "make_allocator",
+]

@@ -1,0 +1,116 @@
+"""Pool allocator interface and shared bookkeeping.
+
+A :class:`PoolAllocator` stores variable-size compressed objects inside
+pool pages drawn from a :class:`~repro.allocators.buddy.BuddyAllocator`.
+The two quantities the tiering models consume are:
+
+* **density** -- how many pool pages the allocator needs to hold the
+  currently stored bytes (:attr:`PoolAllocator.pool_pages`); this sets the
+  tier's real memory footprint and therefore its TCO, and
+* **management overhead** -- extra nanoseconds charged per store/lookup
+  (:attr:`PoolAllocator.mgmt_overhead_ns`); zsmalloc pays more than zbud
+  (paper §2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.mem.page import PAGE_SIZE
+
+
+class AllocationError(Exception):
+    """Raised when a pool or arena cannot satisfy a request."""
+
+
+@dataclass(frozen=True)
+class Handle:
+    """Opaque reference to a stored compressed object.
+
+    Attributes:
+        allocator: Name of the allocator that issued the handle.
+        object_id: Allocator-local identifier.
+        size: Stored object size in bytes.
+    """
+
+    allocator: str
+    object_id: int
+    size: int
+
+
+class PoolAllocator(abc.ABC):
+    """Abstract zswap pool manager.
+
+    Subclasses must maintain the invariant ``stored_bytes <= pool_pages *
+    PAGE_SIZE`` and must reclaim pool pages when objects are freed (possibly
+    lazily, but the property tests bound the slack).
+    """
+
+    #: Identifier matching the kernel name (``"zbud"`` etc.).
+    name: str = "pool"
+
+    #: Management overhead charged on each store or lookup, nanoseconds.
+    mgmt_overhead_ns: float = 0.0
+
+    #: Largest storable object, bytes.  zswap rejects objects that compress
+    #: to more than a page; individual allocators may be stricter.
+    max_object_size: int = PAGE_SIZE
+
+    def __init__(self) -> None:
+        self.stored_bytes = 0
+        self.stored_objects = 0
+        self._next_id = 0
+
+    # -- required operations ----------------------------------------------
+
+    @abc.abstractmethod
+    def store(self, size: int) -> Handle:
+        """Store an object of ``size`` bytes; returns its handle."""
+
+    @abc.abstractmethod
+    def free(self, handle: Handle) -> None:
+        """Release a stored object."""
+
+    @property
+    @abc.abstractmethod
+    def pool_pages(self) -> int:
+        """Pool pages currently backing the stored objects."""
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _check_size(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"object size must be >= 1, got {size}")
+        if size > self.max_object_size:
+            raise AllocationError(
+                f"{self.name} cannot store a {size}-byte object "
+                f"(max {self.max_object_size})"
+            )
+
+    def _issue_handle(self, size: int) -> Handle:
+        handle = Handle(allocator=self.name, object_id=self._next_id, size=size)
+        self._next_id += 1
+        self.stored_bytes += size
+        self.stored_objects += 1
+        return handle
+
+    def _retire_handle(self, handle: Handle) -> None:
+        if handle.allocator != self.name:
+            raise AllocationError(
+                f"handle from {handle.allocator!r} freed on {self.name!r}"
+            )
+        self.stored_bytes -= handle.size
+        self.stored_objects -= 1
+
+    @property
+    def pool_bytes(self) -> int:
+        """Physical bytes consumed by the pool."""
+        return self.pool_pages * PAGE_SIZE
+
+    @property
+    def density(self) -> float:
+        """Stored bytes per pool byte, in ``[0, 1]``; higher is denser."""
+        if self.pool_pages == 0:
+            return 0.0
+        return self.stored_bytes / self.pool_bytes

@@ -1,0 +1,123 @@
+"""Binary buddy allocator over a page-granular arena.
+
+Zswap pools grow by requesting physical pages from the kernel's buddy
+allocator (paper §2).  This is a faithful from-scratch implementation:
+power-of-two block sizes, free lists per order, split on allocation,
+coalesce with the buddy on free.
+
+Blocks are addressed by their first page frame number (PFN).  The arena
+size must be a power of two pages; callers wanting "effectively unbounded"
+pools simply size the arena at the machine's tier capacity.
+"""
+
+from __future__ import annotations
+
+from repro.allocators.base import AllocationError
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class BuddyAllocator:
+    """Classic binary buddy allocator.
+
+    Args:
+        total_pages: Arena size in pages; must be a power of two.
+    """
+
+    def __init__(self, total_pages: int) -> None:
+        if not _is_power_of_two(total_pages):
+            raise ValueError(
+                f"buddy arena must be a power of two pages, got {total_pages}"
+            )
+        self.total_pages = total_pages
+        self.max_order = total_pages.bit_length() - 1
+        # free_lists[order] = set of start PFNs of free blocks of 2**order.
+        self._free_lists: list[set[int]] = [
+            set() for _ in range(self.max_order + 1)
+        ]
+        self._free_lists[self.max_order].add(0)
+        # start PFN -> order, for currently allocated blocks.
+        self._allocated: dict[int, int] = {}
+        self.allocated_pages = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        """Pages not currently handed out."""
+        return self.total_pages - self.allocated_pages
+
+    def order_for(self, num_pages: int) -> int:
+        """Smallest order whose block fits ``num_pages``."""
+        if num_pages < 1:
+            raise ValueError("num_pages must be >= 1")
+        return (num_pages - 1).bit_length()
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, num_pages: int = 1) -> int:
+        """Allocate a block of at least ``num_pages`` pages.
+
+        Returns:
+            The start PFN of the block.
+
+        Raises:
+            AllocationError: If no block of sufficient order is free.
+        """
+        order = self.order_for(num_pages)
+        if order > self.max_order:
+            raise AllocationError(
+                f"request of {num_pages} pages exceeds arena of "
+                f"{self.total_pages} pages"
+            )
+        # Find the smallest free order that satisfies the request.
+        avail = order
+        while avail <= self.max_order and not self._free_lists[avail]:
+            avail += 1
+        if avail > self.max_order:
+            raise AllocationError(
+                f"out of memory: no free block of order >= {order}"
+            )
+        pfn = self._free_lists[avail].pop()
+        # Split down to the requested order.
+        while avail > order:
+            avail -= 1
+            buddy = pfn + (1 << avail)
+            self._free_lists[avail].add(buddy)
+        self._allocated[pfn] = order
+        self.allocated_pages += 1 << order
+        return pfn
+
+    def free(self, pfn: int) -> None:
+        """Free a previously allocated block, coalescing with buddies."""
+        try:
+            order = self._allocated.pop(pfn)
+        except KeyError:
+            raise AllocationError(f"PFN {pfn} is not an allocated block") from None
+        self.allocated_pages -= 1 << order
+        while order < self.max_order:
+            buddy = pfn ^ (1 << order)
+            if buddy not in self._free_lists[order]:
+                break
+            self._free_lists[order].remove(buddy)
+            pfn = min(pfn, buddy)
+            order += 1
+        self._free_lists[order].add(pfn)
+
+    def fragmentation(self) -> float:
+        """Fraction of free memory not in the largest free block.
+
+        0.0 means all free memory is one contiguous block (or nothing is
+        free); values near 1.0 indicate heavy external fragmentation.
+        """
+        free = self.free_pages
+        if free == 0:
+            return 0.0
+        largest = 0
+        for order in range(self.max_order, -1, -1):
+            if self._free_lists[order]:
+                largest = 1 << order
+                break
+        return 1.0 - largest / free

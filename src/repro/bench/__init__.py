@@ -1,0 +1,32 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+* :mod:`repro.bench.configs` -- tier mixes: the 12 characterization tiers
+  (Figure 2), the standard mix (§8.2) and the spectrum mix (§8.3).
+* :mod:`repro.bench.runner` -- builds a system + workload + policy and
+  runs the daemon, returning a :class:`repro.core.metrics.RunSummary`.
+* :mod:`repro.bench.experiments` -- one driver per table/figure.
+* :mod:`repro.bench.reporting` -- plain-text table/series printers.
+"""
+
+from repro.bench.configs import (
+    characterization_tiers,
+    enumerate_tiers,
+    make_compressed_tier,
+    spectrum_mix,
+    standard_mix,
+)
+from repro.bench.runner import build_system, make_policy, run_policy
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "build_system",
+    "characterization_tiers",
+    "enumerate_tiers",
+    "format_series",
+    "format_table",
+    "make_compressed_tier",
+    "make_policy",
+    "run_policy",
+    "spectrum_mix",
+    "standard_mix",
+]

@@ -1,0 +1,890 @@
+"""One driver per paper table/figure (see DESIGN.md's experiment index).
+
+Every driver returns structured results (lists of dict rows or per-window
+series) and is deterministic for a given seed.  The ``benchmarks/`` suite
+wraps these in pytest-benchmark targets and prints the paper-shaped output;
+``EXPERIMENTS.md`` records paper-vs-measured for each.
+
+Defaults are sized to finish in seconds per driver; every driver takes
+scale parameters for larger runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import configs
+from repro.bench.runner import run_policy
+from repro.compression.base import Codec
+from repro.compression.data import make_corpus
+from repro.compression.registry import reference_codec
+from repro.mem.page import PAGE_SIZE
+from repro.workloads.registry import workload_table
+
+#: The six policies of the standard-mix comparison (Figure 7 legend).
+STANDARD_POLICIES = ("hemem", "gswap", "tmo", "waterfall", "am-tco", "am-perf")
+
+#: Workloads in the Figure 7 / Figure 13 sweeps (registry names).
+EVAL_WORKLOADS = (
+    "memcached-ycsb",
+    "memcached-memtier",
+    "redis-ycsb",
+    "bfs",
+    "pagerank",
+    "xsbench",
+    "graphsage",
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 -- motivation: aggressiveness on a single compressed tier
+# ---------------------------------------------------------------------------
+
+def fig01_motivation(
+    fractions=(20, 50, 80), windows: int = 10, seed: int = 0
+) -> list[dict]:
+    """TCO savings vs slowdown when placing 20/50/80 % of Memcached data
+    into a single compressed tier (paper Figure 1)."""
+    rows = []
+    for fraction in fractions:
+        summary = run_policy(
+            "memcached-ycsb",
+            policy="gswap",
+            mix="single",
+            windows=windows,
+            percentile=float(fraction),
+            seed=seed,
+        )
+        rows.append(
+            {
+                "placed_pct": fraction,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "slowdown_pct": 100 * summary.slowdown,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 -- characterization of the 12 compressed tiers
+# ---------------------------------------------------------------------------
+
+def _measure_dataset(codec: Codec, data: bytes) -> tuple[float, list[int]]:
+    """Per-page compressed sizes and mean ratio of ``data`` under ``codec``."""
+    sizes = []
+    for start in range(0, len(data) - PAGE_SIZE + 1, PAGE_SIZE):
+        page = data[start : start + PAGE_SIZE]
+        blob = codec.compress(page)
+        sizes.append(min(len(blob), PAGE_SIZE))  # zswap caps at a page
+    ratio = float(np.mean(sizes)) / PAGE_SIZE
+    return ratio, sizes
+
+
+def fig02_characterization(
+    pages_per_dataset: int = 64, seed: int = 0
+) -> list[dict]:
+    """Access latency and TCO savings of tiers C1-C12 on nci/dickens-like
+    corpora (paper Figure 2a/2b)."""
+    datasets = {
+        kind: make_corpus(kind, pages_per_dataset * PAGE_SIZE, seed=seed)
+        for kind in ("nci", "dickens")
+    }
+    rows = []
+    for index in range(1, 13):
+        label = configs.characterization_label(index)
+        row: dict = {"tier": f"C{index}", "config": label}
+        for kind, data in datasets.items():
+            # Fresh tier per dataset so pool occupancy is per-dataset.
+            tier = configs.characterization_tiers()[index - 1]
+            codec = reference_codec(tier.algorithm.name)
+            ratio, sizes = _measure_dataset(codec, data)
+            for size in sizes:
+                tier.allocator.store(size)
+            pool_cost = tier.used_pages * tier.media.cost_per_page
+            dram_cost = pages_per_dataset * configs.DRAM.cost_per_page
+            # Latency uses the measured mean ratio so backing-media
+            # streaming reflects the dataset.
+            latency = tier.fault_latency_ns(intrinsic=max(0.02, min(1.0, ratio)))
+            row[f"{kind}_latency_us"] = latency / 1000.0
+            row[f"{kind}_ratio"] = ratio
+            row[f"{kind}_tco_savings_pct"] = 100 * (1 - pool_cost / dram_cost)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 -- standard mix: slowdown vs TCO savings, all workloads
+# ---------------------------------------------------------------------------
+
+def fig07_standard_mix(
+    workloads=EVAL_WORKLOADS,
+    policies=STANDARD_POLICIES,
+    windows: int = 10,
+    seed: int = 0,
+) -> list[dict]:
+    """Performance slowdown and TCO savings per workload and policy with
+    the DRAM+NVMM+CT-1+CT-2 mix (paper Figure 7)."""
+    rows = []
+    for workload in workloads:
+        for policy in policies:
+            summary = run_policy(
+                workload, policy, mix="standard", windows=windows, seed=seed
+            )
+            summary.workload = workload  # registry name, not instance name
+            rows.append(summary.row())
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 and 9 -- per-window placement traces for Memcached/YCSB
+# ---------------------------------------------------------------------------
+
+def fig08_waterfall_trace(windows: int = 15, seed: int = 0) -> dict:
+    """Waterfall placement recommendations per window plus the TCO trend
+    (paper Figure 8)."""
+    summary, daemon = run_policy(
+        "memcached-ycsb",
+        "waterfall",
+        mix="standard",
+        windows=windows,
+        seed=seed,
+        return_daemon=True,
+    )
+    tier_names = [t.name for t in daemon.system.tiers]
+    return {
+        "tiers": tier_names,
+        "placement_per_window": [r.placement.tolist() for r in daemon.records],
+        "tco_savings_per_window": [r.tco_savings for r in daemon.records],
+        "summary": summary,
+    }
+
+
+def fig09_analytical_trace(
+    windows: int = 15, alpha: float = 0.25, seed: int = 0
+) -> dict:
+    """AM-TCO recommendations vs actual placement, compressed-tier faults
+    and the TCO trend for Memcached/YCSB (paper Figure 9).
+
+    Uses a TCO-leaning knob (tighter than the AM-TCO default) so the
+    recommendation keeps only a small DRAM share, matching the paper's
+    "less than 5 % of data in DRAM" trace.
+    """
+    summary, daemon = run_policy(
+        "memcached-ycsb",
+        "am",
+        alpha=alpha,
+        mix="standard",
+        windows=windows,
+        seed=seed,
+        return_daemon=True,
+    )
+    tier_names = [t.name for t in daemon.system.tiers]
+    pages_per_region = daemon.system.space.num_pages // daemon.system.space.num_regions
+    cumulative_faults = np.cumsum(
+        [r.faults.tolist() for r in daemon.records], axis=0
+    )
+    return {
+        "tiers": tier_names,
+        "recommended_regions_per_window": [
+            r.recommended.tolist() for r in daemon.records
+        ],
+        "recommended_pages_per_window": [
+            (r.recommended * pages_per_region).tolist() for r in daemon.records
+        ],
+        "actual_pages_per_window": [r.placement.tolist() for r in daemon.records],
+        "cumulative_faults": cumulative_faults.tolist(),
+        "tco_savings_per_window": [r.tco_savings for r in daemon.records],
+        "summary": summary,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 -- knob sweep
+# ---------------------------------------------------------------------------
+
+def fig10_knob_sweep(
+    alphas=(0.1, 0.3, 0.5, 0.7, 0.9),
+    thresholds=(25.0, 75.0),
+    windows: int = 10,
+    seed: int = 0,
+) -> list[dict]:
+    """AM at five knob values vs baselines at two hotness thresholds, for
+    Memcached/YCSB (paper Figure 10)."""
+    rows = []
+    for alpha in alphas:
+        summary = run_policy(
+            "memcached-ycsb",
+            "am",
+            alpha=alpha,
+            mix="standard",
+            windows=windows,
+            seed=seed,
+        )
+        rows.append({"config": f"AM(a={alpha:g})", **summary.row()})
+    for policy in ("hemem", "gswap", "tmo", "waterfall"):
+        for pct in thresholds:
+            summary = run_policy(
+                "memcached-ycsb",
+                policy,
+                percentile=pct,
+                mix="standard",
+                windows=windows,
+                seed=seed,
+            )
+            rows.append({"config": f"{summary.policy}@{pct:g}", **summary.row()})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 -- Redis tail latencies
+# ---------------------------------------------------------------------------
+
+def fig11_tail_latency(
+    policies=STANDARD_POLICIES,
+    windows: int = 10,
+    percentile: float = 75.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Average / p95 / p99.9 Redis access latency, normalized to DRAM
+    (paper Figure 11).
+
+    Runs the threshold policies at the aggressive (75th percentile)
+    setting: tail latency only differentiates once the baselines place
+    enough data in their single slow tier to fault on it, which is the
+    SLA-pressure regime the paper's figure captures.
+    """
+    from repro.mem.media import DRAM
+
+    rows = []
+    for policy in policies:
+        summary = run_policy(
+            "redis-ycsb",
+            policy,
+            mix="standard",
+            windows=windows,
+            percentile=percentile,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "policy": summary.policy,
+                "avg_norm": summary.avg_latency_ns / DRAM.read_ns,
+                "p95_norm": summary.p95_latency_ns / DRAM.read_ns,
+                "p999_norm": summary.p999_latency_ns / DRAM.read_ns,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 12 and 13 -- the 6-tier spectrum
+# ---------------------------------------------------------------------------
+
+#: Aggressiveness settings (§8.3): percentile for threshold policies,
+#: alpha for the analytical model.
+AGGRESSIVENESS = {
+    "C": {"percentile": 25.0, "alpha": 0.9},
+    "M": {"percentile": 50.0, "alpha": 0.5},
+    "A": {"percentile": 75.0, "alpha": 0.1},
+}
+
+
+def fig12_spectrum_placement(windows: int = 12, seed: int = 0) -> list[dict]:
+    """Final placement distribution for Waterfall and AM at the three
+    aggressiveness levels, 6-tier spectrum mix (paper Figure 12)."""
+    rows = []
+    for model_kind in ("waterfall", "am"):
+        for level, params in AGGRESSIVENESS.items():
+            summary, daemon = run_policy(
+                "memcached-ycsb",
+                model_kind,
+                mix="spectrum",
+                windows=windows,
+                percentile=params["percentile"],
+                alpha=params["alpha"],
+                seed=seed,
+                return_daemon=True,
+            )
+            last = daemon.records[-1]
+            short = "WF" if model_kind == "waterfall" else "AM"
+            row = {"config": f"{short}-{level}"}
+            for name, pages in zip(
+                [t.name for t in daemon.system.tiers], last.placement
+            ):
+                row[name] = int(pages)
+            row["tco_savings_pct"] = 100 * summary.final_tco_savings
+            rows.append(row)
+    return rows
+
+
+def fig13_spectrum(
+    workloads=EVAL_WORKLOADS, windows: int = 10, seed: int = 0
+) -> list[dict]:
+    """Slowdown and TCO savings with six tiers: GSwap* vs Waterfall vs AM
+    at three aggressiveness levels (paper Figure 13)."""
+    rows = []
+    for workload in workloads:
+        for policy, short in (("gswap", "GS"), ("waterfall", "WF"), ("am", "AM")):
+            for level, params in AGGRESSIVENESS.items():
+                summary = run_policy(
+                    workload,
+                    policy,
+                    mix="spectrum",
+                    windows=windows,
+                    percentile=params["percentile"],
+                    alpha=params["alpha"],
+                    seed=seed,
+                )
+                rows.append(
+                    {
+                        "workload": workload,
+                        "config": f"{short}-{level}",
+                        "slowdown_pct": 100 * summary.slowdown,
+                        "tco_savings_pct": 100 * summary.tco_savings,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 -- TierScape tax
+# ---------------------------------------------------------------------------
+
+def fig14_tax(windows: int = 10, seed: int = 0) -> list[dict]:
+    """Daemon overhead (profiling + modeling + migration) for AM-TCO and
+    AM-perf with local vs remote solver (paper Figure 14)."""
+    rows = []
+    configurations = [("baseline", None, False), ("only-profiling", None, False)]
+    for preset in ("am-tco", "am-perf"):
+        for remote in (False, True):
+            configurations.append((preset, preset, remote))
+
+    for label, preset, remote in configurations:
+        if label == "baseline":
+            summary = run_policy(
+                "memcached-memtier",
+                _NullModel(),
+                windows=windows,
+                seed=seed,
+                sampling_rate=10**9,  # effectively no profiling
+            )
+            tax_ns = 0.0
+        elif label == "only-profiling":
+            summary = run_policy(
+                "memcached-memtier", _NullModel(), windows=windows, seed=seed
+            )
+            tax_ns = summary.profiling_ns
+        else:
+            from repro.bench.runner import make_policy
+
+            policy = make_policy(preset)
+            policy.remote = remote
+            summary = run_policy(
+                "memcached-memtier", policy, windows=windows, seed=seed
+            )
+            tax_ns = summary.profiling_ns + summary.migration_ns
+            if not remote:
+                tax_ns += summary.solver_ns
+            label = f"{policy.name}-{'Remote' if remote else 'Local'}"
+        app_ns = max(1.0, summary.extras.get("app_ns", 1.0))
+        rows.append(
+            {
+                "config": label,
+                "tax_pct_of_app": 100 * tax_ns / app_ns,
+                "profiling_ms": summary.profiling_ns / 1e6,
+                "solver_ms": summary.solver_ns / 1e6,
+                "migration_ms": summary.migration_ns / 1e6,
+                "slowdown_pct": 100 * summary.slowdown,
+            }
+        )
+    return rows
+
+
+class _NullModel:
+    """Placement model that never moves anything (baseline/profiling-only)."""
+
+    name = "baseline"
+    solver_ns = 0.0
+
+    def recommend(self, record, system) -> dict[int, int]:
+        return {}
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def tab01_option_space() -> list[dict]:
+    """Table 1: the 63-tier option space."""
+    return [
+        {"algorithm": algo, "allocator": alloc, "backing": med}
+        for algo, alloc, med in configs.enumerate_tiers()
+    ]
+
+
+def tab02_workloads() -> list[dict]:
+    """Table 2: workload descriptions and (paper vs simulated) RSS."""
+    return workload_table()
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md §5)
+# ---------------------------------------------------------------------------
+
+def ablation_filter(windows: int = 10, seed: int = 0) -> list[dict]:
+    """Migration filter on vs off (pressure avoidance ablation)."""
+    from repro.core.placement.filter import MigrationFilter
+    from repro.bench.runner import build_system, make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.workloads.registry import make_workload
+
+    rows = []
+    for label, mf in (
+        ("filter-on", MigrationFilter()),
+        ("filter-off", MigrationFilter(pressure_threshold=None, enforce_capacity=False)),
+    ):
+        workload = make_workload("memcached-ycsb", seed=seed)
+        system = build_system(workload, mix="standard", seed=seed)
+        daemon = TSDaemon(
+            system,
+            make_policy("am-tco"),
+            migration_filter=mf,
+            sampling_rate=1000,
+            seed=seed + 1,
+        )
+        summary = daemon.run(workload, windows)
+        rows.append(
+            {
+                "config": label,
+                "slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "faults": summary.total_faults,
+                "migration_ms": summary.migration_ns / 1e6,
+            }
+        )
+    return rows
+
+
+def ablation_cooling(
+    coolings=(0.0, 0.25, 0.5, 0.75, 1.0), windows: int = 10, seed: int = 0
+) -> list[dict]:
+    """Hotness EWMA cooling-factor sweep."""
+    from repro.bench.runner import build_system, make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.workloads.registry import make_workload
+
+    rows = []
+    for cooling in coolings:
+        workload = make_workload("memcached-ycsb", seed=seed)
+        system = build_system(workload, mix="standard", seed=seed)
+        daemon = TSDaemon(
+            system,
+            make_policy("am-tco"),
+            sampling_rate=1000,
+            cooling=cooling,
+            seed=seed + 1,
+        )
+        summary = daemon.run(workload, windows)
+        rows.append(
+            {
+                "cooling": cooling,
+                "slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "faults": summary.total_faults,
+            }
+        )
+    return rows
+
+
+def ablation_tier_count(windows: int = 10, seed: int = 0) -> list[dict]:
+    """1 vs 2 vs 5 compressed tiers at matched aggressiveness (the paper's
+    §8.3.2 'why multiple compressed tiers?' argument)."""
+    rows = []
+    for mix, label in (("single", "1-CT"), ("standard", "2-CT"), ("spectrum", "5-CT")):
+        policy = "gswap" if mix == "single" else "am"
+        summary = run_policy(
+            "memcached-ycsb",
+            policy,
+            mix=mix,
+            alpha=0.1 if policy == "am" else None,
+            percentile=75.0,
+            windows=windows,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "config": label,
+                "slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+            }
+        )
+    return rows
+
+
+def ablation_prefetch(windows: int = 10, seed: int = 0) -> list[dict]:
+    """Spatial prefetcher on/off for a fault-heavy configuration (the
+    paper's §3.2 future-work extension)."""
+    from repro.bench.runner import build_system, make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.workloads.registry import make_workload
+
+    rows = []
+    for label, degree in (("no-prefetch", None), ("prefetch-4", 4), ("prefetch-8", 8)):
+        workload = make_workload("memcached-ycsb", seed=seed)
+        system = build_system(workload, mix="standard", seed=seed)
+        daemon = TSDaemon(
+            system,
+            make_policy("tmo", percentile=75.0),
+            sampling_rate=100,
+            prefetch_degree=degree,
+            seed=seed + 1,
+        )
+        summary = daemon.run(workload, windows)
+        stats = daemon.prefetcher.stats if daemon.prefetcher else None
+        rows.append(
+            {
+                "config": label,
+                "slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "faults": summary.total_faults,
+                "prefetches": stats.issued if stats else 0,
+                "accuracy_pct": 100 * stats.accuracy if stats else 0.0,
+            }
+        )
+    return rows
+
+
+def ablation_fast_migration(windows: int = 10, seed: int = 0) -> list[dict]:
+    """§7.1's same-algorithm migration optimization on/off, measured on
+    the spectrum mix where Waterfall migrates between lz4 tiers."""
+    from repro.bench.runner import build_system, make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.workloads.registry import make_workload
+
+    rows = []
+    for label, fast in (("naive-path", False), ("fast-same-algo", True)):
+        workload = make_workload("memcached-ycsb", seed=seed)
+        system = build_system(workload, mix="spectrum", seed=seed)
+        system.fast_same_algo_migration = fast
+        daemon = TSDaemon(
+            system,
+            make_policy("waterfall", mix="spectrum", percentile=50.0),
+            sampling_rate=100,
+            seed=seed + 1,
+        )
+        summary = daemon.run(workload, windows)
+        rows.append(
+            {
+                "config": label,
+                "migration_ms": summary.migration_ns / 1e6,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "slowdown_pct": 100 * summary.slowdown,
+            }
+        )
+    return rows
+
+
+def ablation_tier_selection(windows: int = 10, seed: int = 0) -> list[dict]:
+    """Hand-picked spectrum (C1/C2/C4/C7/C12) vs automatically selected
+    tier set (the paper's §9 'selecting the optimal set' direction)."""
+    from repro.bench.runner import build_system, make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.core.tier_select import build_selected_tiers, select_tiers
+    from repro.mem.address_space import AddressSpace
+    from repro.mem.media import DRAM
+    from repro.mem.system import TieredMemorySystem
+    from repro.mem.tier import ByteAddressableTier
+    from repro.workloads.registry import make_workload
+
+    rows = []
+    for label in ("hand-picked", "auto-selected"):
+        workload = make_workload("memcached-ycsb", seed=seed)
+        if label == "hand-picked":
+            system = build_system(workload, mix="spectrum", seed=seed)
+        else:
+            space = AddressSpace(workload.num_pages, "mixed", seed=seed)
+            n = space.num_pages
+            tiers = [ByteAddressableTier("DRAM", DRAM, capacity_pages=n)]
+            tiers += build_selected_tiers(
+                select_tiers("mixed", k=5, seed=seed), capacity_pages=n
+            )
+            system = TieredMemorySystem(tiers, space)
+        daemon = TSDaemon(
+            system,
+            make_policy("am", alpha=0.5, mix="spectrum"),
+            sampling_rate=100,
+            seed=seed + 1,
+        )
+        summary = daemon.run(workload, windows)
+        rows.append(
+            {
+                "config": label,
+                "tiers": ",".join(t.name for t in system.tiers[1:]),
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "slowdown_pct": 100 * summary.slowdown,
+            }
+        )
+    return rows
+
+
+def exp_sla(
+    targets=(0.02, 0.05, 0.15), windows: int = 15, seed: int = 0
+) -> list[dict]:
+    """SLA-aware knob auto-tuning: harvested TCO per slowdown budget."""
+    from repro.bench.runner import build_system
+    from repro.core.slo import run_sla_tuned
+    from repro.workloads.registry import make_workload
+
+    rows = []
+    for target in targets:
+        workload = make_workload("memcached-ycsb", seed=seed)
+        system = build_system(workload, mix="standard", seed=seed)
+        summary, controller, alphas = run_sla_tuned(
+            system, workload, target_slowdown=target, num_windows=windows,
+            seed=seed + 1,
+        )
+        rows.append(
+            {
+                "sla_slowdown_pct": 100 * target,
+                "achieved_slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "final_alpha": alphas[-1],
+                "violations": controller.violations,
+            }
+        )
+    return rows
+
+
+def exp_extended_baselines(windows: int = 10, seed: int = 0) -> list[dict]:
+    """Related-work baselines beyond the paper's three: TPP* (watermark +
+    hysteresis) and MEMTIS* (histogram-sized hot set) vs HeMem* and the
+    analytical model, on Memcached/YCSB."""
+    rows = []
+    for policy in ("hemem", "tpp", "memtis", "am-tco"):
+        summary = run_policy(
+            "memcached-ycsb",
+            policy,
+            mix="standard",
+            windows=windows,
+            percentile=50.0,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "policy": summary.policy,
+                "slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "pages_migrated": summary.extras.get("pages_migrated", 0),
+            }
+        )
+    return rows
+
+
+def ablation_granularity(windows: int = 10, seed: int = 0) -> list[dict]:
+    """2 MB region management (TS-Daemon, §7.2) vs the kernel's page
+    granular LRU reclaim, on identical workloads: the region design pays
+    far fewer management operations for comparable savings."""
+    from repro.bench.runner import build_system, make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.core.placement.lru import run_lru
+    from repro.workloads.registry import make_workload
+
+    rows = []
+
+    workload = make_workload("memcached-ycsb", seed=seed)
+    system = build_system(workload, mix="standard", seed=seed)
+    daemon = TSDaemon(
+        system, make_policy("tmo", percentile=50.0), sampling_rate=100,
+        seed=seed + 1,
+    )
+    summary = daemon.run(workload, windows)
+    rows.append(
+        {
+            "granularity": "2MB-regions",
+            "slowdown_pct": 100 * summary.slowdown,
+            "tco_savings_pct": 100 * summary.tco_savings,
+            "migration_ops": daemon.engine.stats.regions_moved,
+            "pages_moved": daemon.engine.stats.pages_moved,
+            "faults": summary.total_faults,
+        }
+    )
+
+    workload = make_workload("memcached-ycsb", seed=seed)
+    system = build_system(workload, mix="standard", seed=seed)
+    lru_summary, stats = run_lru(
+        system, workload, windows, slow_tier="CT-2", age_windows=2
+    )
+    rows.append(
+        {
+            "granularity": "4KB-LRU",
+            "slowdown_pct": 100 * lru_summary["slowdown"],
+            "tco_savings_pct": 100 * lru_summary["tco_savings"],
+            "migration_ops": lru_summary["migration_ops"],
+            "pages_moved": stats.pages_reclaimed,
+            "faults": lru_summary["faults"],
+        }
+    )
+    return rows
+
+
+def exp_iaa_tier(windows: int = 10, seed: int = 0) -> list[dict]:
+    """A hardware-compression (Intel IAA) tier vs the software spectrum:
+    deflate-class density at lz4-class latency collapses the trade-off
+    the software tiers span (the artifact kernel's IAA toggle)."""
+    from repro.bench.configs import make_compressed_tier
+    from repro.bench.runner import make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.mem.address_space import AddressSpace
+    from repro.mem.media import DRAM, NVMM
+    from repro.mem.system import TieredMemorySystem
+    from repro.mem.tier import ByteAddressableTier
+    from repro.workloads.registry import make_workload
+
+    rows = []
+    for label, algo in (("sw-zstd", "zstd"), ("hw-iaa-deflate", "iaa-deflate")):
+        workload = make_workload("memcached-ycsb", seed=seed)
+        space = AddressSpace(workload.num_pages, "mixed", seed=seed)
+        n = space.num_pages
+        tiers = [
+            ByteAddressableTier("DRAM", DRAM, capacity_pages=n),
+            ByteAddressableTier("NVMM", NVMM, capacity_pages=n),
+            make_compressed_tier("CT", algo, "zsmalloc", NVMM, capacity_pages=n),
+        ]
+        system = TieredMemorySystem(tiers, space)
+        daemon = TSDaemon(
+            system,
+            make_policy("am", alpha=0.4, mix="standard"),
+            sampling_rate=100,
+            seed=seed + 1,
+        )
+        summary = daemon.run(workload, windows)
+        rows.append(
+            {
+                "tier": label,
+                "slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "faults": summary.total_faults,
+            }
+        )
+    return rows
+
+
+def ablation_telemetry(windows: int = 10, seed: int = 0) -> list[dict]:
+    """Telemetry backend comparison: PEBS sampling vs ACCESSED-bit
+    scanning vs DAMON-style probing, driving the same AM policy."""
+    from repro.bench.runner import build_system, make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.workloads.registry import make_workload
+
+    rows = []
+    for kind in ("pebs", "idlebit", "damon"):
+        workload = make_workload("memcached-ycsb", seed=seed)
+        system = build_system(workload, mix="standard", seed=seed)
+        daemon = TSDaemon(
+            system,
+            make_policy("am-tco"),
+            telemetry=kind,
+            sampling_rate=100,
+            seed=seed + 1,
+        )
+        summary = daemon.run(workload, windows)
+        rows.append(
+            {
+                "telemetry": kind,
+                "slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "faults": summary.total_faults,
+                "profiling_ms": summary.profiling_ns / 1e6,
+            }
+        )
+    return rows
+
+
+def exp_colocation(windows: int = 10, seed: int = 0) -> list[dict]:
+    """Co-located tenants with diverse compressibility (paper §3.4 and
+    §9 direction v): a Memcached tenant (mixed data) shares the spectrum
+    mix with a PageRank tenant (highly compressible graph data); the
+    harness reports per-tenant placement and TCO."""
+    from repro.bench.configs import spectrum_mix
+    from repro.bench.runner import make_policy
+    from repro.core.daemon import TSDaemon
+    from repro.mem.address_space import AddressSpace
+    from repro.mem.page import PAGE_SIZE
+    from repro.mem.system import TieredMemorySystem
+    from repro.mem.tier import CompressedTier
+    from repro.workloads.colocate import CompositeWorkload, composite_compressibility
+    from repro.workloads.registry import make_workload
+
+    tenants = [
+        make_workload("memcached-ycsb", seed=seed, num_pages=8192),
+        make_workload("pagerank", seed=seed),
+    ]
+    profiles = ["mixed", "nci"]
+    workload = CompositeWorkload(tenants, seed=seed)
+    space = AddressSpace(
+        workload.num_pages,
+        seed=seed,
+        compressibility=composite_compressibility(tenants, profiles, seed),
+    )
+    system = TieredMemorySystem(spectrum_mix(space), space)
+    daemon = TSDaemon(
+        system,
+        make_policy("am", alpha=0.5, mix="spectrum"),
+        sampling_rate=100,
+        seed=seed + 1,
+    )
+    summary = daemon.run(workload, windows)
+
+    rows = []
+    dram_cost_per_page = system.dram.media.cost_per_page
+    for i, tenant in enumerate(tenants):
+        start, end = workload.tenant_range(i)
+        locations = system.page_location[start:end]
+        cost = 0.0
+        row = {"tenant": tenant.name, "profile": profiles[i]}
+        for t_idx, tier in enumerate(system.tiers):
+            resident = int((locations == t_idx).sum())
+            row[tier.name] = resident
+            if isinstance(tier, CompressedTier):
+                cost += (
+                    tier.stored_bytes_in_range(start, end)
+                    / PAGE_SIZE
+                    * tier.media.cost_per_page
+                )
+            else:
+                cost += resident * tier.media.cost_per_page
+        tenant_max = tenant.num_pages * dram_cost_per_page
+        row["tco_savings_pct"] = 100 * (1 - cost / tenant_max)
+        rows.append(row)
+    rows.append(
+        {
+            "tenant": "TOTAL",
+            "profile": "-",
+            **{t.name: int(c) for t, c in zip(system.tiers, system.placement_counts())},
+            "tco_savings_pct": 100 * summary.tco_savings,
+        }
+    )
+    return rows
+
+
+def ablation_solver(windows: int = 6, seed: int = 0) -> list[dict]:
+    """Solver backend comparison on identical runs."""
+    rows = []
+    for backend in ("greedy", "scipy"):
+        summary = run_policy(
+            "memcached-ycsb",
+            "am-tco",
+            mix="standard",
+            windows=windows,
+            seed=seed,
+            solver_backend=backend,
+        )
+        rows.append(
+            {
+                "backend": backend,
+                "slowdown_pct": 100 * summary.slowdown,
+                "tco_savings_pct": 100 * summary.tco_savings,
+                "solver_ms": summary.solver_ns / 1e6,
+            }
+        )
+    return rows

@@ -1,0 +1,67 @@
+"""Export experiment rows to CSV or JSON files.
+
+The drivers return lists of flat dict rows; these helpers persist them so
+results can be archived or post-processed outside the simulator (the
+artifact's equivalent is its ``evaluation/perflog-*`` directories).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+
+def _normalise(rows: Iterable[dict]) -> list[dict]:
+    out = []
+    for row in rows:
+        clean = {}
+        for key, value in row.items():
+            if hasattr(value, "tolist"):  # numpy scalars/arrays
+                value = value.tolist()
+            clean[key] = value
+        out.append(clean)
+    return out
+
+
+def export_json(rows: Iterable[dict], path) -> Path:
+    """Write rows as a JSON array; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(_normalise(rows), indent=2, sort_keys=True))
+    return path
+
+
+def export_csv(rows: Iterable[dict], path) -> Path:
+    """Write rows as CSV (union of keys, blank for missing)."""
+    rows = _normalise(rows)
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(
+                {
+                    k: (json.dumps(v) if isinstance(v, (list, dict)) else v)
+                    for k, v in row.items()
+                }
+            )
+    return path
+
+
+def export(rows: Iterable[dict], path) -> Path:
+    """Dispatch on file suffix: ``.json`` or ``.csv``."""
+    path = Path(path)
+    if path.suffix == ".json":
+        return export_json(rows, path)
+    if path.suffix == ".csv":
+        return export_csv(rows, path)
+    raise ValueError(f"unsupported export format {path.suffix!r} (json/csv)")

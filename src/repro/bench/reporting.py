@@ -1,0 +1,88 @@
+"""Plain-text reporting helpers: aligned tables and labelled series."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Iterable[dict], title: str | None = None) -> str:
+    """Render dict rows as an aligned plain-text table.
+
+    All rows must share the first row's keys; missing keys render blank.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    columns = list(rows[0].keys())
+    cells = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(
+    name: str, xs: Iterable, ys: Iterable, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    pairs = "  ".join(
+        f"({_format_cell(x)}, {_format_cell(y)})" for x, y in zip(xs, ys)
+    )
+    return f"{name} [{x_label} -> {y_label}]: {pairs}\n"
+
+
+def format_bars(
+    rows: Iterable[dict],
+    label_key: str,
+    value_key: str,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render one numeric column as a terminal bar chart.
+
+    The matplotlib-free stand-in for the paper's figures: each row gets a
+    bar scaled to the column's maximum.  Negative values render as an
+    empty bar with the number shown.
+
+    Args:
+        rows: Dict rows (as the experiment drivers return).
+        label_key: Column used as the bar label.
+        value_key: Numeric column to plot.
+        width: Maximum bar width in characters.
+        title: Optional heading.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    values = [float(row.get(value_key, 0) or 0) for row in rows]
+    peak = max((v for v in values if v > 0), default=0.0)
+    label_width = max(len(str(row.get(label_key, ""))) for row in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for row, value in zip(rows, values):
+        bar = "#" * int(round(width * value / peak)) if peak > 0 and value > 0 else ""
+        label = str(row.get(label_key, "")).rjust(label_width)
+        lines.append(f"{label}  {bar} {_format_cell(value)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,279 @@
+"""Command-line interface: run any experiment or policy from the shell.
+
+Examples::
+
+    python -m repro list                          # available experiments
+    python -m repro run fig01 --windows 8         # regenerate Figure 1
+    python -m repro run fig13 --seed 3
+    python -m repro policy memcached-ycsb am-tco  # one policy run
+    python -m repro workloads                     # Table 2
+    python -m repro tiers --profile nci --k 5     # auto tier selection
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_policy
+
+#: Experiment name -> (driver, description).  Drivers return row lists or
+#: trace dicts; trace dicts are flattened for printing.
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig01": (experiments.fig01_motivation, "Figure 1: single-tier aggressiveness"),
+    "fig02": (experiments.fig02_characterization, "Figure 2: 12-tier characterization"),
+    "fig07": (experiments.fig07_standard_mix, "Figure 7: standard-mix comparison"),
+    "fig08": (experiments.fig08_waterfall_trace, "Figure 8: Waterfall trace"),
+    "fig09": (experiments.fig09_analytical_trace, "Figure 9: AM-TCO trace"),
+    "fig10": (experiments.fig10_knob_sweep, "Figure 10: knob sweep"),
+    "fig11": (experiments.fig11_tail_latency, "Figure 11: Redis tail latency"),
+    "fig12": (experiments.fig12_spectrum_placement, "Figure 12: spectrum placement"),
+    "fig13": (experiments.fig13_spectrum, "Figure 13: six-tier spectrum"),
+    "fig14": (experiments.fig14_tax, "Figure 14: TierScape tax"),
+    "tab01": (experiments.tab01_option_space, "Table 1: tier option space"),
+    "tab02": (experiments.tab02_workloads, "Table 2: workloads"),
+    "colocation": (experiments.exp_colocation, "Co-located tenants (§9v)"),
+    "ablation-filter": (experiments.ablation_filter, "Migration filter on/off"),
+    "ablation-cooling": (experiments.ablation_cooling, "Hotness cooling sweep"),
+    "ablation-tiers": (experiments.ablation_tier_count, "1/2/5 compressed tiers"),
+    "ablation-solver": (experiments.ablation_solver, "Solver backends"),
+    "ablation-prefetch": (experiments.ablation_prefetch, "Spatial prefetcher"),
+    "ablation-fastmig": (
+        experiments.ablation_fast_migration,
+        "Same-algorithm fast migration",
+    ),
+    "ablation-select": (
+        experiments.ablation_tier_selection,
+        "Automatic tier selection",
+    ),
+    "ablation-telemetry": (
+        experiments.ablation_telemetry,
+        "PEBS vs idle-bit vs DAMON telemetry",
+    ),
+    "sla": (experiments.exp_sla, "SLA-aware knob auto-tuning"),
+    "ablation-granularity": (
+        experiments.ablation_granularity,
+        "2MB regions vs 4KB LRU reclaim",
+    ),
+    "iaa": (experiments.exp_iaa_tier, "Hardware (IAA) compression tier"),
+    "baselines": (
+        experiments.exp_extended_baselines,
+        "Extended baselines: TPP*, MEMTIS*",
+    ),
+}
+
+_NO_WINDOWS_ARG = {"tab01", "tab02", "fig02"}
+
+
+def _print_result(name: str, result) -> None:
+    if isinstance(result, list):
+        print(format_table(result, title=name))
+        # A quick visual for the headline metric, when present.
+        if result and "tco_savings_pct" in result[0]:
+            from repro.bench.reporting import format_bars
+
+            label_key = next(
+                (
+                    k
+                    for k in ("config", "policy", "tier", "workload", "tenant")
+                    if k in result[0]
+                ),
+                None,
+            )
+            if label_key:
+                print(
+                    format_bars(
+                        result,
+                        label_key,
+                        "tco_savings_pct",
+                        title="tco_savings_pct",
+                    )
+                )
+        return
+    # Trace dicts (fig08/fig09): print the per-window series.
+    tiers = result.get("tiers", [])
+    key = (
+        "placement_per_window"
+        if "placement_per_window" in result
+        else "actual_pages_per_window"
+    )
+    rows = []
+    for w, placement in enumerate(result[key]):
+        row = {"window": w}
+        row.update(dict(zip(tiers, placement)))
+        row["tco_savings_pct"] = 100 * result["tco_savings_per_window"][w]
+        rows.append(row)
+    print(format_table(rows, title=name))
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        {"experiment": name, "description": desc}
+        for name, (_, desc) in EXPERIMENTS.items()
+    ]
+    print(format_table(rows, title="Available experiments"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    try:
+        driver, _ = EXPERIMENTS[args.experiment]
+    except KeyError:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"try: python -m repro list",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {}
+    if args.experiment not in _NO_WINDOWS_ARG:
+        kwargs["windows"] = args.windows
+    if args.experiment not in ("tab01", "tab02"):
+        kwargs["seed"] = args.seed
+    result = driver(**kwargs)
+    _print_result(args.experiment, result)
+    if args.out:
+        from repro.bench.export import export
+
+        rows = result if isinstance(result, list) else [result.get("summary").row()]
+        path = export(rows, args.out)
+        print(f"results written to {path}")
+    return 0
+
+
+def cmd_policy(args) -> int:
+    summary = run_policy(
+        args.workload,
+        args.policy,
+        mix=args.mix,
+        windows=args.windows,
+        percentile=args.percentile,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    print(format_table([summary.row()], title=f"{args.workload} / {args.policy}"))
+    print(f"p99.9 latency : {summary.p999_latency_ns:.0f} ns")
+    print(f"migration     : {summary.migration_ns / 1e6:.1f} ms (daemon)")
+    print(f"solver        : {summary.solver_ns / 1e6:.1f} ms")
+    return 0
+
+
+def cmd_config(args) -> int:
+    from repro.config import ExperimentConfig
+
+    config = ExperimentConfig.load(args.path)
+    summary = config.run()
+    print(format_table([summary.row()], title=config.tag))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.bench.validate import validate
+
+    results = validate(windows=args.windows, seed=args.seed)
+    all_passed = True
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        print(f"{result.claim} [{status}] {result.description} "
+              f"({result.wall_s:.1f}s)")
+        for line in result.details:
+            print(f"  {line}")
+        all_passed &= result.passed
+    print("\nartifact claims:", "ALL PASS" if all_passed else "FAILURES")
+    return 0 if all_passed else 1
+
+
+def cmd_workloads(_args) -> int:
+    print(format_table(experiments.tab02_workloads(), title="Workloads (Table 2)"))
+    return 0
+
+
+def cmd_tiers(args) -> int:
+    from repro.core.tier_select import select_tiers
+    from repro.mem.media import DRAM
+
+    picks = select_tiers(args.profile, k=args.k)
+    rows = [
+        {
+            "tier": f"S{i + 1}",
+            "algorithm": s.algorithm,
+            "allocator": s.allocator,
+            "backing": s.backing,
+            "latency_us": s.latency_ns / 1000.0,
+            "cost_vs_dram": s.page_cost / DRAM.cost_per_page,
+        }
+        for i, s in enumerate(picks)
+    ]
+    print(
+        format_table(
+            rows, title=f"Auto-selected tiers (profile={args.profile}, k={args.k})"
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TierScape reproduction: experiments and policy runs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run an experiment driver")
+    run.add_argument("experiment", help="experiment name (see 'list')")
+    run.add_argument("--windows", type=int, default=10)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--out", default=None, help="also export rows to a .json/.csv file"
+    )
+    run.set_defaults(func=cmd_run)
+
+    policy = sub.add_parser("policy", help="run one (workload, policy) pair")
+    policy.add_argument("workload", help="registry name, e.g. memcached-ycsb")
+    policy.add_argument(
+        "policy", help="hemem|gswap|tmo|waterfall|am|am-tco|am-perf"
+    )
+    policy.add_argument("--mix", default="standard", help="standard|spectrum|single")
+    policy.add_argument("--windows", type=int, default=10)
+    policy.add_argument("--percentile", type=float, default=25.0)
+    policy.add_argument("--alpha", type=float, default=None)
+    policy.add_argument("--seed", type=int, default=0)
+    policy.set_defaults(func=cmd_policy)
+
+    sub.add_parser("workloads", help="print the workload registry").set_defaults(
+        func=cmd_workloads
+    )
+
+    config = sub.add_parser("config", help="run a JSON experiment config")
+    config.add_argument("path", help="path to an ExperimentConfig JSON file")
+    config.set_defaults(func=cmd_config)
+
+    validate = sub.add_parser(
+        "validate", help="check the paper's artifact claims (C1, C2)"
+    )
+    validate.add_argument("--windows", type=int, default=8)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(func=cmd_validate)
+
+    tiers = sub.add_parser("tiers", help="auto-select a compressed-tier set")
+    tiers.add_argument("--profile", default="mixed")
+    tiers.add_argument("--k", type=int, default=5)
+    tiers.set_defaults(func=cmd_tiers)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

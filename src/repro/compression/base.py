@@ -1,0 +1,92 @@
+"""Common codec interface and result types.
+
+Every codec in this package is a :class:`Codec`: a stateless object that can
+``compress`` a byte string into an opaque blob and ``decompress`` the blob
+back to the exact original bytes.  Codecs additionally report a
+:class:`CompressionResult` from :meth:`Codec.measure`, which carries the
+sizes and the wall-clock time the operation took; the characterization
+benches (paper Figure 2) are built on these measurements.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of compressing one buffer.
+
+    Attributes:
+        codec: Name of the codec that produced this result.
+        original_size: Uncompressed size in bytes.
+        compressed_size: Compressed size in bytes.
+        compress_ns: Wall-clock nanoseconds spent compressing.
+        decompress_ns: Wall-clock nanoseconds spent decompressing (one
+            round trip, measured on the same buffer).
+    """
+
+    codec: str
+    original_size: int
+    compressed_size: int
+    compress_ns: int
+    decompress_ns: int
+
+    @property
+    def ratio(self) -> float:
+        """Compressed-to-original size ratio, in ``(0, inf)``.
+
+        Follows the paper's convention (footnote 1): the ratio of compressed
+        size to original size, so *smaller is better* and an incompressible
+        buffer has ratio >= 1.
+        """
+        if self.original_size == 0:
+            return 1.0
+        return self.compressed_size / self.original_size
+
+    @property
+    def space_savings(self) -> float:
+        """Fraction of space saved; negative if the codec expanded the data."""
+        return 1.0 - self.ratio
+
+
+class Codec(abc.ABC):
+    """Abstract lossless codec.
+
+    Subclasses must round-trip exactly: ``decompress(compress(x)) == x`` for
+    every byte string ``x``.  This invariant is enforced by property-based
+    tests.
+    """
+
+    #: Short identifier, e.g. ``"lz77"``.
+    name: str = "codec"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` and return an opaque blob."""
+
+    @abc.abstractmethod
+    def decompress(self, blob: bytes) -> bytes:
+        """Invert :meth:`compress`, returning the original bytes."""
+
+    def measure(self, data: bytes) -> CompressionResult:
+        """Compress and decompress ``data`` once, timing both directions."""
+        t0 = time.perf_counter_ns()
+        blob = self.compress(data)
+        t1 = time.perf_counter_ns()
+        restored = self.decompress(blob)
+        t2 = time.perf_counter_ns()
+        if restored != data:
+            raise AssertionError(
+                f"codec {self.name!r} failed to round-trip a "
+                f"{len(data)}-byte buffer"
+            )
+        return CompressionResult(
+            codec=self.name,
+            original_size=len(data),
+            compressed_size=len(blob),
+            compress_ns=t1 - t0,
+            decompress_ns=t2 - t1,
+        )

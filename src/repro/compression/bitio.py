@@ -1,0 +1,74 @@
+"""Bit-granular I/O used by the Huffman and deflate-like codecs.
+
+LSB-first bit order (the DEFLATE convention): the first bit written goes
+into the least-significant bit of the first output byte.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits LSB-first into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._bit_buffer = 0
+        self._bit_count = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write the low ``count`` bits of ``value``, LSB first."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if value < 0 or (count < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        self._bit_buffer |= value << self._bit_count
+        self._bit_count += count
+        while self._bit_count >= 8:
+            self._out.append(self._bit_buffer & 0xFF)
+            self._bit_buffer >>= 8
+            self._bit_count -= 8
+
+    def write_bit(self, bit: int) -> None:
+        self.write_bits(bit & 1, 1)
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padding the final byte) and return the buffer."""
+        out = bytearray(self._out)
+        if self._bit_count:
+            out.append(self._bit_buffer & 0xFF)
+        return bytes(out)
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far."""
+        return len(self._out) * 8 + self._bit_count
+
+
+class BitReader:
+    """Reads bits LSB-first from a byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits; raises ``EOFError`` past the end."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        end = self._pos + count
+        if end > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        value = 0
+        for i in range(count):
+            byte = self._data[(self._pos + i) >> 3]
+            bit = (byte >> ((self._pos + i) & 7)) & 1
+            value |= bit << i
+        self._pos = end
+        return value
+
+    def read_bit(self) -> int:
+        return self.read_bits(1)
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos

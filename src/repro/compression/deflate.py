@@ -1,0 +1,35 @@
+"""DEFLATE codec backed by :mod:`zlib`.
+
+The Linux kernel's ``deflate`` zswap compressor implements the same DEFLATE
+format (RFC 1951); wrapping CPython's zlib gives us a byte-exact, well-tested
+reference point with the paper's expected behaviour: best ratio of the
+catalog, slowest (de)compression.
+
+The ``level`` parameter doubles as the effort knob: the registry maps
+``zstd`` onto a mid-level DEFLATE configuration since a real zstd binding is
+not available offline -- the substitution is documented in DESIGN.md and only
+the (ratio, latency) *position* of the tier matters to the placement models.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.compression.base import Codec
+
+
+class DeflateCodec(Codec):
+    """zlib/DEFLATE at a configurable compression level (1..9)."""
+
+    name = "deflate"
+
+    def __init__(self, level: int = 9) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError("deflate level must be in 1..9")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, blob: bytes) -> bytes:
+        return zlib.decompress(blob)

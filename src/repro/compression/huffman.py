@@ -1,0 +1,158 @@
+"""Canonical Huffman coding, from scratch.
+
+Provides the entropy-coding stage for
+:class:`repro.compression.deflate_scratch.DeflateScratchCodec` and a
+standalone :class:`HuffmanCodec` for order-0 entropy compression.
+
+Codes are *canonical*: only the code length per symbol is stored in the
+stream header; both sides reconstruct identical codebooks by assigning
+codes in (length, symbol) order -- the same trick DEFLATE uses to keep
+headers small.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+from repro.compression.base import Codec
+from repro.compression.bitio import BitReader, BitWriter
+
+#: Cap on code length so lengths fit in 4 header bits (DEFLATE uses 15).
+MAX_CODE_LENGTH = 15
+
+
+def code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+    """Huffman code length per symbol from symbol frequencies.
+
+    Builds the classic Huffman tree with a heap; applies a simple
+    length-limiting pass (rarely needed below ``MAX_CODE_LENGTH``).
+
+    Args:
+        frequencies: symbol -> count, counts > 0.
+
+    Returns:
+        symbol -> code length.  A single-symbol alphabet gets length 1.
+    """
+    if not frequencies:
+        return {}
+    if any(count <= 0 for count in frequencies.values()):
+        raise ValueError("frequencies must be positive")
+    if len(frequencies) == 1:
+        (symbol,) = frequencies
+        return {symbol: 1}
+    # Heap of (weight, tiebreak, leaves) where leaves maps symbol->depth.
+    heap: list[tuple[int, int, dict[int, int]]] = []
+    for tiebreak, (symbol, weight) in enumerate(sorted(frequencies.items())):
+        heap.append((weight, tiebreak, {symbol: 0}))
+    heapq.heapify(heap)
+    counter = len(heap)
+    while len(heap) > 1:
+        w1, _, leaves1 = heapq.heappop(heap)
+        w2, _, leaves2 = heapq.heappop(heap)
+        merged = {s: d + 1 for s, d in leaves1.items()}
+        merged.update({s: d + 1 for s, d in leaves2.items()})
+        heapq.heappush(heap, (w1 + w2, counter, merged))
+        counter += 1
+    lengths = heap[0][2]
+    # Length-limit: clamp overlong codes to the cap, then restore the
+    # Kraft inequality by lengthening the shortest codes (each step
+    # strictly decreases the Kraft sum, so this terminates).
+    if max(lengths.values()) > MAX_CODE_LENGTH:
+        lengths = {s: min(l, MAX_CODE_LENGTH) for s, l in lengths.items()}
+        while not _kraft_ok(lengths):
+            candidates = [s for s, l in lengths.items() if l < MAX_CODE_LENGTH]
+            shortest = min(candidates, key=lambda s: (lengths[s], s))
+            lengths[shortest] += 1
+    return lengths
+
+
+def _kraft_ok(lengths: dict[int, int]) -> bool:
+    return sum(2 ** (MAX_CODE_LENGTH - l) for l in lengths.values()) <= (
+        1 << MAX_CODE_LENGTH
+    )
+
+
+def canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Assign canonical codes: symbol -> (code, length).
+
+    Codes are assigned in (length, symbol) order, numerically increasing,
+    exactly as RFC 1951 §3.2.2 prescribes.  The returned code values are
+    MSB-first; writers must reverse them for LSB-first streams.
+    """
+    code = 0
+    prev_length = 0
+    out: dict[int, tuple[int, int]] = {}
+    for symbol in sorted(lengths, key=lambda s: (lengths[s], s)):
+        length = lengths[symbol]
+        code <<= length - prev_length
+        out[symbol] = (code, length)
+        code += 1
+        prev_length = length
+    return out
+
+
+def _reverse_bits(value: int, width: int) -> int:
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+class CanonicalDecoder:
+    """Decodes canonical-Huffman symbols from a :class:`BitReader`."""
+
+    def __init__(self, lengths: dict[int, int]) -> None:
+        self._by_length: dict[int, dict[int, int]] = {}
+        for symbol, (code, length) in canonical_codes(lengths).items():
+            self._by_length.setdefault(length, {})[code] = symbol
+        self._max_length = max(lengths.values()) if lengths else 0
+
+    def decode(self, reader: BitReader) -> int:
+        code = 0
+        for length in range(1, self._max_length + 1):
+            code = (code << 1) | reader.read_bit()
+            table = self._by_length.get(length)
+            if table is not None and code in table:
+                return table[code]
+        raise ValueError("invalid Huffman code in stream")
+
+
+class HuffmanCodec(Codec):
+    """Order-0 canonical Huffman codec.
+
+    Stream layout: 2-byte original length, 256 x 4-bit code lengths
+    (0 = symbol absent), then the LSB-first code stream.
+    """
+
+    name = "huffman"
+
+    def compress(self, data: bytes) -> bytes:
+        writer = BitWriter()
+        writer.write_bits(len(data) & 0xFFFF, 16)
+        writer.write_bits(len(data) >> 16, 16)
+        lengths = code_lengths(Counter(data)) if data else {}
+        for symbol in range(256):
+            writer.write_bits(lengths.get(symbol, 0), 4)
+        codes = canonical_codes(lengths)
+        for byte in data:
+            code, length = codes[byte]
+            writer.write_bits(_reverse_bits(code, length), length)
+        return writer.getvalue()
+
+    def decompress(self, blob: bytes) -> bytes:
+        reader = BitReader(blob)
+        size = reader.read_bits(16) | (reader.read_bits(16) << 16)
+        lengths = {}
+        for symbol in range(256):
+            length = reader.read_bits(4)
+            if length:
+                lengths[symbol] = length
+        if size == 0:
+            return b""
+        decoder = CanonicalDecoder(lengths)
+        out = bytearray()
+        for _ in range(size):
+            out.append(decoder.decode(reader))
+        return bytes(out)

@@ -1,0 +1,181 @@
+"""From-scratch LZ77 codec with hash-chain match finding.
+
+This codec plays the role of the "thorough" LZ-family compressors (lzo,
+lz4hc) in the characterization experiment: it searches a bounded chain of
+previous positions sharing a 3-byte prefix and picks the longest match, with
+one step of lazy evaluation (defer a match if the next position matches
+longer), which is the classic gzip-style strategy.
+
+Wire format (LZSS-style):
+
+* The stream is a sequence of *groups*: one flag byte followed by up to 8
+  tokens.  Bit ``k`` (LSB first) of the flag byte tells whether token ``k``
+  is a literal (0) or a match (1).
+* A literal token is one raw byte.
+* A match token is two bytes: ``offset`` is 12 bits (1..4096 back), length
+  is 4 bits storing ``length - MIN_MATCH`` (matches of 3..18 bytes).
+
+The 4 KB window matches the page granularity at which zswap compresses.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Codec
+
+MIN_MATCH = 3
+MAX_MATCH = MIN_MATCH + 0xF  # 18
+WINDOW = 1 << 12  # 4096
+_HASH_MASK = WINDOW - 1
+
+
+def _hash3(data: bytes, i: int) -> int:
+    """Order-3 rolling hash used to index the chain table."""
+    return ((data[i] << 8) ^ (data[i + 1] << 4) ^ data[i + 2]) & _HASH_MASK
+
+
+class LZ77Codec(Codec):
+    """LZ77 with hash chains and one-step lazy matching.
+
+    Args:
+        max_chain: How many chained candidate positions to examine per
+            lookup.  Longer chains find better matches but compress slower;
+            this mirrors the effort knob of lz4hc vs lz4.
+        lazy: Whether to apply one-step lazy matching (gzip-style).
+    """
+
+    name = "lz77"
+
+    def __init__(self, max_chain: int = 64, lazy: bool = True) -> None:
+        if max_chain < 1:
+            raise ValueError("max_chain must be >= 1")
+        self.max_chain = max_chain
+        self.lazy = lazy
+
+    # -- compression ------------------------------------------------------
+
+    def tokenize(self, data: bytes) -> list:
+        """LZ77 token stream: literal byte ints and ``(offset, length)``
+        match tuples.  Shared by this codec's serializer and the
+        deflate-like two-stage codec."""
+        n = len(data)
+        tokens: list[tuple[int, int] | int] = []  # int literal or (off, len)
+        head: dict[int, int] = {}
+        prev: list[int] = [-1] * n
+
+        def insert(pos: int) -> None:
+            if pos + MIN_MATCH <= n:
+                h = _hash3(data, pos)
+                prev[pos] = head.get(h, -1)
+                head[h] = pos
+
+        def find_match(pos: int) -> tuple[int, int]:
+            """Return (offset, length) of the best match at ``pos``."""
+            if pos + MIN_MATCH > n:
+                return 0, 0
+            best_len = 0
+            best_off = 0
+            candidate = head.get(_hash3(data, pos), -1)
+            chain = self.max_chain
+            limit = min(MAX_MATCH, n - pos)
+            while candidate >= 0 and chain > 0:
+                if pos - candidate <= WINDOW:
+                    length = 0
+                    while (
+                        length < limit
+                        and data[candidate + length] == data[pos + length]
+                    ):
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_off = pos - candidate
+                        if best_len == limit:
+                            break
+                chain -= 1
+                candidate = prev[candidate]
+            if best_len < MIN_MATCH:
+                return 0, 0
+            return best_off, best_len
+
+        i = 0
+        while i < n:
+            off, length = find_match(i)
+            if length >= MIN_MATCH and self.lazy and i + 1 < n:
+                insert(i)
+                off2, length2 = find_match(i + 1)
+                if length2 > length:
+                    tokens.append(data[i])
+                    i += 1
+                    off, length = off2, length2
+                else:
+                    # Undo nothing: position i is already inserted; fall
+                    # through and emit the original match.
+                    pass
+                if length >= MIN_MATCH:
+                    tokens.append((off, length))
+                    # Position i may already be in the chain from the lazy
+                    # probe; inserting twice is harmless but wasteful, so
+                    # start from i + 1.
+                    for j in range(i + 1, i + length):
+                        insert(j)
+                    i += length
+                continue
+            if length >= MIN_MATCH:
+                tokens.append((off, length))
+                for j in range(i, i + length):
+                    insert(j)
+                i += length
+            else:
+                tokens.append(data[i])
+                insert(i)
+                i += 1
+        return tokens
+
+    def compress(self, data: bytes) -> bytes:
+        tokens = self.tokenize(data)
+        out = bytearray()
+        # Serialize token groups.
+        for group_start in range(0, len(tokens), 8):
+            group = tokens[group_start : group_start + 8]
+            flags = 0
+            body = bytearray()
+            for k, token in enumerate(group):
+                if isinstance(token, tuple):
+                    flags |= 1 << k
+                    off, length = token
+                    word = ((off - 1) << 4) | (length - MIN_MATCH)
+                    body.append(word >> 8)
+                    body.append(word & 0xFF)
+                else:
+                    body.append(token)
+            out.append(flags)
+            out += body
+        return bytes(out)
+
+    # -- decompression ----------------------------------------------------
+
+    def decompress(self, blob: bytes) -> bytes:
+        out = bytearray()
+        i = 0
+        n = len(blob)
+        while i < n:
+            flags = blob[i]
+            i += 1
+            for k in range(8):
+                if i >= n:
+                    break
+                if flags & (1 << k):
+                    if i + 2 > n:
+                        raise ValueError("truncated LZ77 match token")
+                    word = (blob[i] << 8) | blob[i + 1]
+                    i += 2
+                    off = (word >> 4) + 1
+                    length = (word & 0xF) + MIN_MATCH
+                    if off > len(out):
+                        raise ValueError("LZ77 match offset out of range")
+                    start = len(out) - off
+                    for j in range(length):  # may self-overlap
+                        out.append(out[start + j])
+                else:
+                    out.append(blob[i])
+                    i += 1
+        return bytes(out)

@@ -1,0 +1,143 @@
+"""Fast greedy LZ codec (lz4-style).
+
+Compared to :class:`repro.compression.lz77.LZ77Codec`, this codec trades
+ratio for speed exactly the way lz4 trades against lz4hc/deflate:
+
+* a single-entry hash table (no chains) -- one candidate per lookup,
+* greedy matching, no lazy evaluation,
+* unbounded match lengths with byte-extension encoding, so long runs are
+  still cheap.
+
+Wire format, a sequence of *sequences* (lz4-like):
+
+* token byte: high nibble = literal count (15 = extended), low nibble =
+  ``match_length - MIN_MATCH`` (15 = extended),
+* optional literal-length extension bytes (each 0..255; 255 means continue),
+* the literal bytes,
+* 2-byte little-endian match offset (0 offset marks "no match": the final
+  sequence of a stream carries literals only),
+* optional match-length extension bytes.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Codec
+
+MIN_MATCH = 4
+_HASH_BITS = 12
+_HASH_SIZE = 1 << _HASH_BITS
+MAX_OFFSET = 0xFFFF
+
+
+def _hash4(data: bytes, i: int) -> int:
+    """Multiplicative hash of a 4-byte prefix (Fibonacci hashing)."""
+    word = (
+        data[i]
+        | (data[i + 1] << 8)
+        | (data[i + 2] << 16)
+        | (data[i + 3] << 24)
+    )
+    return ((word * 2654435761) >> (32 - _HASH_BITS)) & (_HASH_SIZE - 1)
+
+
+def _emit_varlen(out: bytearray, value: int) -> None:
+    """Append lz4-style length extension bytes for ``value`` >= 15."""
+    value -= 15
+    while value >= 255:
+        out.append(255)
+        value -= 255
+    out.append(value)
+
+
+def _read_varlen(blob: bytes, i: int, base: int) -> tuple[int, int]:
+    """Read a possibly-extended length starting from nibble ``base``."""
+    if base < 15:
+        return base, i
+    total = 15
+    while True:
+        if i >= len(blob):
+            raise ValueError("truncated length extension")
+        byte = blob[i]
+        i += 1
+        total += byte
+        if byte != 255:
+            return total, i
+
+
+class LZFastCodec(Codec):
+    """Greedy single-probe LZ codec modelled on lz4."""
+
+    name = "lzfast"
+
+    def compress(self, data: bytes) -> bytes:
+        n = len(data)
+        out = bytearray()
+        table = [-1] * _HASH_SIZE
+        anchor = 0  # start of pending literals
+        i = 0
+        while i + MIN_MATCH <= n:
+            h = _hash4(data, i)
+            candidate = table[h]
+            table[h] = i
+            if (
+                candidate >= 0
+                and i - candidate <= MAX_OFFSET
+                and data[candidate : candidate + MIN_MATCH]
+                == data[i : i + MIN_MATCH]
+            ):
+                length = MIN_MATCH
+                while i + length < n and data[candidate + length] == data[i + length]:
+                    length += 1
+                self._emit_sequence(
+                    out, data[anchor:i], offset=i - candidate, match_len=length
+                )
+                i += length
+                anchor = i
+            else:
+                i += 1
+        if anchor < n or not out:
+            self._emit_sequence(out, data[anchor:], offset=0, match_len=0)
+        return bytes(out)
+
+    @staticmethod
+    def _emit_sequence(
+        out: bytearray, literals: bytes, offset: int, match_len: int
+    ) -> None:
+        lit_len = len(literals)
+        lit_nibble = min(lit_len, 15)
+        match_nibble = min(match_len - MIN_MATCH, 15) if offset else 0
+        out.append((lit_nibble << 4) | match_nibble)
+        if lit_len >= 15:
+            _emit_varlen(out, lit_len)
+        out += literals
+        out.append(offset & 0xFF)
+        out.append(offset >> 8)
+        if offset and match_len - MIN_MATCH >= 15:
+            _emit_varlen(out, match_len - MIN_MATCH)
+
+    def decompress(self, blob: bytes) -> bytes:
+        out = bytearray()
+        i = 0
+        n = len(blob)
+        while i < n:
+            token = blob[i]
+            i += 1
+            lit_len, i = _read_varlen(blob, i, token >> 4)
+            if i + lit_len > n:
+                raise ValueError("truncated literal run")
+            out += blob[i : i + lit_len]
+            i += lit_len
+            if i + 2 > n:
+                raise ValueError("truncated offset")
+            offset = blob[i] | (blob[i + 1] << 8)
+            i += 2
+            if offset == 0:
+                continue  # literal-only sequence
+            match_len, i = _read_varlen(blob, i, token & 0xF)
+            match_len += MIN_MATCH
+            if offset > len(out):
+                raise ValueError("match offset out of range")
+            start = len(out) - offset
+            for j in range(match_len):  # may self-overlap
+                out.append(out[start + j])
+        return bytes(out)

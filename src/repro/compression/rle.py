@@ -1,0 +1,85 @@
+"""Byte-oriented run-length codec.
+
+This is the building block the kernel's ``lzo-rle`` variant adds on top of
+LZO: long runs of identical bytes (very common in zero-filled or sparsely
+initialised pages) are collapsed into ``(count, byte)`` pairs.
+
+Wire format, a sequence of chunks:
+
+* control byte ``c < 0x80``: a literal block; the next ``c + 1`` raw bytes
+  follow (1..128 literals).
+* control byte ``c >= 0x80``: a run; the next single byte repeats
+  ``(c - 0x80) + MIN_RUN`` times (3..130 repetitions).
+
+Runs shorter than :data:`MIN_RUN` are emitted as literals since encoding
+them as runs would not save space.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Codec
+
+#: Shortest run worth encoding as a run chunk.
+MIN_RUN = 3
+#: Longest run a single control byte can express.
+MAX_RUN = 0x7F + MIN_RUN
+#: Longest literal block a single control byte can express.
+MAX_LITERAL = 0x80
+
+
+class RLECodec(Codec):
+    """Run-length encoder with literal passthrough blocks."""
+
+    name = "rle"
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray()
+        literals = bytearray()
+        i = 0
+        n = len(data)
+        while i < n:
+            byte = data[i]
+            run = 1
+            while i + run < n and run < MAX_RUN and data[i + run] == byte:
+                run += 1
+            if run >= MIN_RUN:
+                self._flush_literals(out, literals)
+                out.append(0x80 + run - MIN_RUN)
+                out.append(byte)
+                i += run
+            else:
+                literals.append(byte)
+                if len(literals) == MAX_LITERAL:
+                    self._flush_literals(out, literals)
+                i += 1
+        self._flush_literals(out, literals)
+        return bytes(out)
+
+    def decompress(self, blob: bytes) -> bytes:
+        out = bytearray()
+        i = 0
+        n = len(blob)
+        while i < n:
+            control = blob[i]
+            i += 1
+            if control < 0x80:
+                count = control + 1
+                if i + count > n:
+                    raise ValueError("truncated RLE literal block")
+                out += blob[i : i + count]
+                i += count
+            else:
+                if i >= n:
+                    raise ValueError("truncated RLE run chunk")
+                out += bytes([blob[i]]) * (control - 0x80 + MIN_RUN)
+                i += 1
+        return bytes(out)
+
+    @staticmethod
+    def _flush_literals(out: bytearray, literals: bytearray) -> None:
+        """Emit pending literal bytes as one or more literal blocks."""
+        while literals:
+            chunk = literals[:MAX_LITERAL]
+            out.append(len(chunk) - 1)
+            out += chunk
+            del literals[: len(chunk)]

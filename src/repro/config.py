@@ -1,0 +1,136 @@
+"""Declarative experiment configuration with JSON round-trip.
+
+The TierScape artifact drives its runs from config files (per-tier
+settings, PEBS frequency, hotness threshold, push threads -- the values
+that end up encoded in its result-directory names like
+``perflog-ILP-F10000-HT.9-R0-PT2-W5``).  This module provides the same
+capability for the simulator: an :class:`ExperimentConfig` captures one
+run completely, serializes to JSON, and executes via
+:meth:`ExperimentConfig.run`.
+
+Example::
+
+    config = ExperimentConfig(workload="memcached-ycsb", policy="am",
+                              alpha=0.4, windows=12)
+    config.save("run.json")
+    summary = ExperimentConfig.load("run.json").run()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.bench.runner import MIXES, run_policy
+from repro.telemetry import PROFILER_KINDS
+from repro.workloads.registry import WORKLOADS
+
+
+@dataclass
+class ExperimentConfig:
+    """One fully specified simulator run.
+
+    Attributes mirror :func:`repro.bench.runner.run_policy`'s parameters;
+    see there for semantics.  The artifact-style ``tag`` property encodes
+    the configuration the way the paper's result directories do.
+    """
+
+    workload: str = "memcached-ycsb"
+    policy: str = "am-tco"
+    mix: str = "standard"
+    windows: int = 10
+    percentile: float = 25.0
+    alpha: float | None = None
+    sampling_rate: int = 100
+    telemetry: str = "pebs"
+    cooling: float = 0.5
+    push_threads: int = 2
+    recency_windows: int = 1
+    prefetch_degree: int | None = None
+    solver_backend: str = "auto"
+    seed: int = 0
+    workload_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"available: {sorted(WORKLOADS)}"
+            )
+        if self.mix not in MIXES:
+            raise ValueError(
+                f"unknown mix {self.mix!r}; available: {sorted(MIXES)}"
+            )
+        if self.telemetry not in PROFILER_KINDS:
+            raise ValueError(
+                f"unknown telemetry {self.telemetry!r}; "
+                f"available: {PROFILER_KINDS}"
+            )
+        if self.windows < 1:
+            raise ValueError("windows must be >= 1")
+
+    @property
+    def tag(self) -> str:
+        """Artifact-style run tag, e.g. ``ILP-F100-HT25-PT2-W10``."""
+        kind = {
+            "am": "ILP",
+            "am-tco": "ILP",
+            "am-perf": "ILP",
+            "waterfall": "Waterfall",
+            "hemem": "HeMem",
+            "gswap": "GSwap",
+            "tmo": "TMO",
+            "tpp": "TPP",
+            "memtis": "MEMTIS",
+        }.get(self.policy, self.policy)
+        knob = (
+            f"A{self.alpha:g}" if self.alpha is not None else f"HT{self.percentile:g}"
+        )
+        return (
+            f"{kind}-F{self.sampling_rate}-{knob}"
+            f"-PT{self.push_threads}-W{self.windows}"
+        )
+
+    def run(self, return_daemon: bool = False):
+        """Execute the configured run; see :func:`run_policy`."""
+        return run_policy(
+            self.workload,
+            self.policy,
+            mix=self.mix,
+            windows=self.windows,
+            percentile=self.percentile,
+            alpha=self.alpha,
+            sampling_rate=self.sampling_rate,
+            seed=self.seed,
+            workload_kwargs=self.workload_kwargs,
+            solver_backend=self.solver_backend,
+            return_daemon=return_daemon,
+            telemetry=self.telemetry,
+            cooling=self.cooling,
+            push_threads=self.push_threads,
+            recency_windows=self.recency_windows,
+            prefetch_degree=self.prefetch_degree,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        data = json.loads(text)
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        return cls(**data)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ExperimentConfig":
+        return cls.from_json(Path(path).read_text())

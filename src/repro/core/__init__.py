@@ -1,0 +1,39 @@
+"""TierScape core: cost models, placement models, and the TS-Daemon.
+
+* :mod:`repro.core.tco` -- the memory TCO model (paper Eqs. 1, 8, 10).
+* :mod:`repro.core.perf` -- the performance-overhead model (Eqs. 3-7).
+* :mod:`repro.core.knob` -- the alpha knob semantics (§6.3).
+* :mod:`repro.core.placement` -- Waterfall, analytical (ILP) and
+  static-threshold baseline placement models plus the migration filter.
+* :mod:`repro.core.daemon` -- the TS-Daemon orchestration loop (§7.2).
+* :mod:`repro.core.metrics` -- run summaries and weighted percentiles.
+"""
+
+from repro.core.daemon import TSDaemon, WindowRecord
+from repro.core.knob import AM_PERF_ALPHA, AM_TCO_ALPHA, Knob
+from repro.core.metrics import RunSummary, weighted_percentile
+from repro.core.placement.analytical import AnalyticalModel
+from repro.core.placement.base import PlacementModel
+from repro.core.placement.filter import MigrationFilter
+from repro.core.placement.static_threshold import StaticThresholdPolicy
+from repro.core.placement.waterfall import WaterfallModel
+from repro.core.prefetch import PrefetchStats, SpatialPrefetcher
+from repro.core.tier_select import select_tiers
+
+__all__ = [
+    "AM_PERF_ALPHA",
+    "AM_TCO_ALPHA",
+    "AnalyticalModel",
+    "Knob",
+    "MigrationFilter",
+    "PlacementModel",
+    "PrefetchStats",
+    "RunSummary",
+    "SpatialPrefetcher",
+    "StaticThresholdPolicy",
+    "TSDaemon",
+    "WaterfallModel",
+    "WindowRecord",
+    "select_tiers",
+    "weighted_percentile",
+]

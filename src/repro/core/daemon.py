@@ -1,0 +1,242 @@
+"""TS-Daemon: the orchestration loop (paper §7.2, Figure 6).
+
+Each profile window the daemon:
+
+1. lets the application run -- the workload generator produces the
+   window's access batch, which the memory system serves (charging the
+   virtual clock and faulting compressed pages on demand) while the PEBS
+   sampler observes the same stream,
+2. closes the telemetry window into a hotness profile,
+3. asks the placement model for a recommendation,
+4. passes the recommendation through the migration filter,
+5. executes the migration wave, and
+6. records a :class:`WindowRecord` for the evaluation harness.
+
+The daemon separates application time (access + fault service) from daemon
+tax (profiling, solving, migration) exactly as the paper's §8.4 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import RunSummary, weighted_percentile
+from repro.core.placement.base import PlacementModel
+from repro.core.placement.filter import MigrationFilter
+from repro.mem.migration import MigrationEngine
+from repro.mem.system import TieredMemorySystem
+from repro.workloads.base import Workload
+
+
+@dataclass
+class WindowRecord:
+    """Everything the harness needs about one profile window.
+
+    Attributes:
+        window: Window index.
+        recommended: Regions per tier as recommended by the model (before
+            filtering), shape ``(T,)``.
+        placement: Application pages per tier after migration, shape
+            ``(T,)`` (the *actual* placement, Figure 9b).
+        pool_pages: Pool pages per tier (zero for byte tiers).
+        tco: Actual TCO after migration (relative $).
+        tco_savings: Fractional savings vs all-DRAM.
+        faults: Per-tier faults during this window, shape ``(T,)``.
+        access_ns: Application nanoseconds this window.
+        accesses: Accesses this window.
+        migration_wall_ns: Migration wave wall time.
+        solver_ns: Solver wall time spent this window.
+        hotness: Region hotness snapshot.
+    """
+
+    window: int
+    recommended: np.ndarray
+    placement: np.ndarray
+    pool_pages: np.ndarray
+    tco: float
+    tco_savings: float
+    faults: np.ndarray
+    access_ns: float
+    accesses: int
+    migration_wall_ns: float
+    solver_ns: float
+    hotness: np.ndarray
+
+
+@dataclass
+class _LatencyAccumulator:
+    values: list[float] = field(default_factory=list)
+    weights: list[int] = field(default_factory=list)
+
+    def extend(self, histogram: list[tuple[float, int]]) -> None:
+        for value, weight in histogram:
+            self.values.append(value)
+            self.weights.append(weight)
+
+    def percentile(self, p: float) -> float:
+        return weighted_percentile(
+            np.array(self.values), np.array(self.weights), p
+        )
+
+    def mean(self) -> float:
+        values = np.array(self.values)
+        weights = np.array(self.weights, dtype=np.float64)
+        return float((values * weights).sum() / weights.sum())
+
+
+class TSDaemon:
+    """Drives profiling, modeling and migration for one application.
+
+    Args:
+        system: The tiered memory system hosting the application.
+        model: The placement model (baseline, Waterfall, or analytical).
+        migration_filter: The §6.7 filter; ``None`` installs the default.
+        sampling_rate: PEBS period (paper default 5000).
+        cooling: Hotness EWMA cooling per window.
+        push_threads: Migration parallelism (artifact ``PT``).
+        recency_windows: Demotions skip pages accessed this recently (the
+            kernel ACCESSED-bit / swap-LRU behaviour); 0 disables.
+        prefetch_degree: When set, install a
+            :class:`~repro.core.prefetch.SpatialPrefetcher` of this degree
+            (the paper's §3.2 future-work extension); ``None`` disables.
+        telemetry: Telemetry backend: ``"pebs"`` (the paper's pipeline),
+            ``"idlebit"`` (ACCESSED-bit scanning) or ``"damon"``
+            (sampled probing); see :func:`repro.telemetry.make_profiler`.
+        seed: Telemetry RNG seed.
+    """
+
+    def __init__(
+        self,
+        system: TieredMemorySystem,
+        model: PlacementModel,
+        migration_filter: MigrationFilter | None = None,
+        sampling_rate: int = 5000,
+        cooling: float = 0.5,
+        push_threads: int = 2,
+        recency_windows: int = 1,
+        prefetch_degree: int | None = None,
+        telemetry: str = "pebs",
+        seed: int = 0,
+    ) -> None:
+        from repro.telemetry import make_profiler
+
+        self.system = system
+        self.model = model
+        self.filter = migration_filter or MigrationFilter()
+        self.profiler = make_profiler(
+            telemetry,
+            num_regions=system.space.num_regions,
+            sampling_rate=sampling_rate,
+            cooling=cooling,
+            seed=seed,
+        )
+        self.engine = MigrationEngine(
+            system, push_threads=push_threads, recency_windows=recency_windows
+        )
+        self.prefetcher = None
+        if prefetch_degree is not None:
+            from repro.core.prefetch import SpatialPrefetcher
+
+            self.prefetcher = SpatialPrefetcher(system, degree=prefetch_degree)
+        self.records: list[WindowRecord] = []
+        self._latencies = _LatencyAccumulator()
+        self._prev_faults = np.zeros(len(system.tiers), dtype=np.int64)
+
+    def run_window(self, page_ids: np.ndarray, write_fraction: float = 0.0) -> WindowRecord:
+        """Execute one profile window over the given access batch."""
+        system = self.system
+        system.advance_window()
+        batch = system.access_batch(page_ids, write_fraction=write_fraction)
+        self._latencies.extend(batch.latency_histogram)
+        if self.prefetcher is not None and batch.faulted_pages:
+            self.prefetcher.on_window(batch.faulted_pages)
+        self.profiler.record(page_ids)
+        record = self.profiler.end_window()
+
+        # Update region hotness for models that read it off the regions.
+        for region in system.space.regions:
+            region.hotness = float(record.hotness[region.region_id])
+
+        solver_before = self.model.solver_ns
+        recommendation = self.model.recommend(record, system)
+        solver_ns = self.model.solver_ns - solver_before
+
+        recommended = np.zeros(len(system.tiers), dtype=np.int64)
+        for dst in recommendation.values():
+            recommended[dst] += 1
+
+        wave = self.filter.apply(recommendation, record, system)
+        migration_wall_ns = self.engine.apply(wave)
+
+        placement = system.placement_counts()
+        pool_pages = np.array(
+            [t.used_pages if t.is_compressed else 0 for t in system.tiers]
+        )
+        faults_now = np.array([t.stats.faults for t in system.tiers])
+        window_faults = faults_now - self._prev_faults
+        self._prev_faults = faults_now
+
+        window_record = WindowRecord(
+            window=record.window,
+            recommended=recommended,
+            placement=placement,
+            pool_pages=pool_pages,
+            tco=system.tco(),
+            tco_savings=system.tco_savings(),
+            faults=window_faults,
+            access_ns=batch.access_ns,
+            accesses=batch.accesses,
+            migration_wall_ns=migration_wall_ns,
+            solver_ns=solver_ns,
+            hotness=record.hotness,
+        )
+        self.records.append(window_record)
+        return window_record
+
+    def run(self, workload: Workload, num_windows: int) -> RunSummary:
+        """Drive ``num_windows`` profile windows of a workload."""
+        if workload.num_pages > self.system.space.num_pages:
+            raise ValueError(
+                f"workload touches {workload.num_pages} pages but the "
+                f"address space has {self.system.space.num_pages}"
+            )
+        for _ in range(num_windows):
+            page_ids = workload.next_window()
+            self.run_window(page_ids, write_fraction=workload.write_fraction)
+        return self.summary(workload.name)
+
+    def summary(self, workload_name: str = "") -> RunSummary:
+        """Aggregate the run into a :class:`RunSummary`."""
+        clock = self.system.clock
+        total_faults = sum(
+            t.stats.faults for t in self.system.tiers if t.is_compressed
+        )
+        savings = [r.tco_savings for r in self.records]
+        return RunSummary(
+            workload=workload_name,
+            policy=self.model.name,
+            slowdown=clock.slowdown,
+            tco_savings=float(np.mean(savings)) if savings else 0.0,
+            final_tco_savings=savings[-1] if savings else 0.0,
+            avg_latency_ns=self._latencies.mean() if self._latencies.values else 0.0,
+            p95_latency_ns=(
+                self._latencies.percentile(95.0) if self._latencies.values else 0.0
+            ),
+            p999_latency_ns=(
+                self._latencies.percentile(99.9) if self._latencies.values else 0.0
+            ),
+            total_faults=total_faults,
+            migration_ns=clock.migration_ns,
+            solver_ns=self.model.solver_ns,
+            profiling_ns=self.profiler.overhead_ns,
+            windows=len(self.records),
+            extras={
+                "app_ns": clock.access_ns,
+                "optimal_ns": clock.optimal_ns,
+                "accesses": clock.total_accesses,
+                "migration_serial_ns": self.engine.stats.serial_ns,
+                "pages_migrated": self.engine.stats.pages_moved,
+            },
+        )

@@ -1,0 +1,106 @@
+"""Fleet dollar projections from simulated TCO savings.
+
+The simulator reports *relative* memory TCO (DRAM page = cost unit); data
+center operators budget in $/GB/month.  This module converts a run's
+savings into fleet dollars so the "performance per dollar" framing of the
+paper's abstract has a concrete calculator behind it.
+
+Default prices are rough public figures (documented per constant); every
+function takes overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Amortized DRAM cost, $/GB/month (hardware + power + opex, ~3yr life).
+DEFAULT_DRAM_PRICE = 0.35
+
+#: The paper's §8.1 cost ratios relative to DRAM.
+NVMM_RELATIVE_COST = 1 / 3
+CXL_RELATIVE_COST = 0.5
+
+
+@dataclass(frozen=True)
+class FleetProjection:
+    """Dollar view of one policy's savings at fleet scale.
+
+    Attributes:
+        fleet_memory_gb: Provisioned fleet memory.
+        baseline_dollars_month: All-DRAM memory spend.
+        saved_dollars_month: Spend removed by the measured TCO savings.
+        saved_dollars_year: The same, annualized.
+        performance_cost: Fractional slowdown paid for those savings.
+        dollars_per_slowdown_point: Monthly dollars saved per percentage
+            point of slowdown (the "performance per dollar" trade; inf if
+            the slowdown is zero).
+    """
+
+    fleet_memory_gb: float
+    baseline_dollars_month: float
+    saved_dollars_month: float
+    saved_dollars_year: float
+    performance_cost: float
+    dollars_per_slowdown_point: float
+
+
+def project_fleet_savings(
+    tco_savings: float,
+    slowdown: float,
+    fleet_memory_gb: float,
+    dram_price_per_gb_month: float = DEFAULT_DRAM_PRICE,
+) -> FleetProjection:
+    """Convert a run's relative savings into fleet dollars.
+
+    Args:
+        tco_savings: Fractional memory-TCO savings from a
+            :class:`~repro.core.metrics.RunSummary` (e.g. 0.30).
+        slowdown: The run's fractional slowdown.
+        fleet_memory_gb: Fleet memory the workload class occupies.
+        dram_price_per_gb_month: Amortized DRAM unit price.
+    """
+    if not 0.0 <= tco_savings <= 1.0:
+        raise ValueError("tco_savings must be in [0, 1]")
+    if slowdown < 0:
+        raise ValueError("slowdown must be >= 0")
+    if fleet_memory_gb <= 0 or dram_price_per_gb_month <= 0:
+        raise ValueError("fleet size and price must be positive")
+    baseline = fleet_memory_gb * dram_price_per_gb_month
+    saved = baseline * tco_savings
+    slowdown_points = 100.0 * slowdown
+    return FleetProjection(
+        fleet_memory_gb=fleet_memory_gb,
+        baseline_dollars_month=baseline,
+        saved_dollars_month=saved,
+        saved_dollars_year=12.0 * saved,
+        performance_cost=slowdown,
+        dollars_per_slowdown_point=(
+            saved / slowdown_points if slowdown_points > 0 else float("inf")
+        ),
+    )
+
+
+def compare_policies(
+    summaries,
+    fleet_memory_gb: float,
+    dram_price_per_gb_month: float = DEFAULT_DRAM_PRICE,
+) -> list[dict]:
+    """Dollar table for a set of :class:`RunSummary` results."""
+    rows = []
+    for summary in summaries:
+        projection = project_fleet_savings(
+            max(0.0, summary.tco_savings),
+            max(0.0, summary.slowdown),
+            fleet_memory_gb,
+            dram_price_per_gb_month,
+        )
+        rows.append(
+            {
+                "policy": summary.policy,
+                "saved_per_month": projection.saved_dollars_month,
+                "saved_per_year": projection.saved_dollars_year,
+                "slowdown_pct": 100 * summary.slowdown,
+                "dollars_per_slowdown_pt": projection.dollars_per_slowdown_point,
+            }
+        )
+    return rows

@@ -1,0 +1,65 @@
+"""The TCO/performance knob (paper §6.3, Figure 5).
+
+The analytical model takes a knob value ``alpha`` in ``[0, 1]``:
+
+* ``alpha = 1`` tunes for maximum performance -- the TCO budget equals
+  ``TCO_max`` so every region may stay in DRAM and savings are zero;
+* ``alpha -> 0`` tunes for maximum TCO savings -- the budget approaches
+  ``TCO_min`` and the ILP must push almost everything into the best
+  TCO-saving tiers, minimising the performance loss it takes to get there.
+
+The evaluation presets mirror the paper's §8.1 and §8.3: AM-TCO and AM-perf
+for the standard-mix experiments, conservative / moderate / aggressive
+(0.9 / 0.5 / 0.1) for the spectrum experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's TCO-preferred analytical-model setting ("a small value").
+#: Calibrated so the implied TCO budget targets the savings range the
+#: paper's AM-TCO reaches (~30-60 %): our simulated MTS is deeper than the
+#: authors' testbed (stronger compression available), so the same *savings
+#: target* sits at a higher alpha.  See EXPERIMENTS.md.
+AM_TCO_ALPHA = 0.5
+#: The paper's performance-preferred setting ("a large value").
+AM_PERF_ALPHA = 0.85
+
+#: Spectrum-experiment aggressiveness presets (§8.3).
+CONSERVATIVE_ALPHA = 0.9
+MODERATE_ALPHA = 0.5
+AGGRESSIVE_ALPHA = 0.1
+
+
+@dataclass(frozen=True)
+class Knob:
+    """A validated knob value.
+
+    Attributes:
+        alpha: Value in ``[0, 1]``; 1 = max performance, 0 = max savings.
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"knob alpha must be in [0, 1], got {self.alpha}")
+
+    def budget(self, tco_min: float, tco_max: float) -> float:
+        """The ILP's TCO budget (Eq. 2): ``TCO_min + alpha * MTS``."""
+        if tco_max < tco_min:
+            raise ValueError(
+                f"TCO_max ({tco_max}) must be >= TCO_min ({tco_min})"
+            )
+        return tco_min + self.alpha * (tco_max - tco_min)
+
+    @classmethod
+    def am_tco(cls) -> "Knob":
+        """The paper's AM-TCO preset."""
+        return cls(AM_TCO_ALPHA)
+
+    @classmethod
+    def am_perf(cls) -> "Knob":
+        """The paper's AM-perf preset."""
+        return cls(AM_PERF_ALPHA)

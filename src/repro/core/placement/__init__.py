@@ -1,0 +1,28 @@
+"""Placement models: baselines, Waterfall, analytical, and the filter.
+
+Region-granularity models (plug into the TS-Daemon): the paper's
+Waterfall and analytical models, the static-threshold baselines
+(HeMem*/GSwap*/TMO*), and the related-work extensions TPP* and MEMTIS*.
+The page-granular kernel LRU path lives in
+:mod:`repro.core.placement.lru` with its own driver.
+"""
+
+from repro.core.placement.analytical import AnalyticalModel
+from repro.core.placement.base import PlacementModel
+from repro.core.placement.filter import MigrationFilter
+from repro.core.placement.lru import run_lru
+from repro.core.placement.memtis import MemtisPolicy
+from repro.core.placement.static_threshold import StaticThresholdPolicy
+from repro.core.placement.tpp import TPPPolicy
+from repro.core.placement.waterfall import WaterfallModel
+
+__all__ = [
+    "AnalyticalModel",
+    "MemtisPolicy",
+    "MigrationFilter",
+    "PlacementModel",
+    "StaticThresholdPolicy",
+    "TPPPolicy",
+    "WaterfallModel",
+    "run_lru",
+]

@@ -1,0 +1,35 @@
+"""Placement model interface.
+
+A placement model consumes one window's telemetry
+(:class:`~repro.telemetry.window.ProfileRecord`) plus the current system
+state and recommends a destination tier per region.  The daemon passes the
+recommendation through the migration filter (paper §6.7) before executing
+it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.mem.system import TieredMemorySystem
+from repro.telemetry.window import ProfileRecord
+
+
+class PlacementModel(abc.ABC):
+    """Abstract placement model (paper §6)."""
+
+    #: Display name used in reports (e.g. ``"AM-TCO"``, ``"Waterfall"``).
+    name: str = "model"
+
+    @abc.abstractmethod
+    def recommend(
+        self, record: ProfileRecord, system: TieredMemorySystem
+    ) -> dict[int, int]:
+        """Return ``{region_id: destination tier index}`` for this window.
+
+        Regions omitted from the mapping are left where they are.
+        """
+
+    #: Solver wall time accumulated, nanoseconds (nonzero for the
+    #: analytical model only); read by the Figure 14 tax experiment.
+    solver_ns: float = 0.0

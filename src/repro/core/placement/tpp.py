@@ -1,0 +1,101 @@
+"""TPP-style placement (Transparent Page Placement, the paper's [42]).
+
+TPP tiers memory for CXL systems with two mechanisms the simple
+percentile baselines lack:
+
+* **watermark-driven demotion** -- instead of demoting a fixed percentile
+  every window, TPP demotes only when the fast tier's occupancy exceeds a
+  configurable watermark, and then only enough of the coldest regions to
+  get back under it;
+* **ping-pong-aware promotion** -- a region is promoted only after it
+  proves itself hot for ``promotion_hysteresis`` consecutive windows,
+  suppressing the demote/promote ping-pong a single-shot threshold
+  creates under shifting access patterns.
+
+Like HeMem*, the slow tier is byte-addressable; the class also accepts a
+compressed slow tier so TPP-style placement composes with TierScape's
+tier spectrum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement.base import PlacementModel
+from repro.mem.page import PAGES_PER_REGION
+from repro.mem.system import TieredMemorySystem
+from repro.telemetry.window import ProfileRecord
+
+
+class TPPPolicy(PlacementModel):
+    """Watermark demotion + hysteresis promotion.
+
+    Args:
+        slow_tier: Destination for demoted regions.
+        dram_watermark: Target maximum fraction of the address space kept
+            in DRAM; demotion triggers above it.
+        promotion_hysteresis: Consecutive hot windows required before a
+            demoted region is promoted back.
+        hot_percentile: Percentile defining "hot" within one window.
+        name: Display name.
+    """
+
+    def __init__(
+        self,
+        slow_tier: str,
+        dram_watermark: float = 0.7,
+        promotion_hysteresis: int = 2,
+        hot_percentile: float = 50.0,
+        name: str | None = None,
+    ) -> None:
+        if not 0.0 < dram_watermark <= 1.0:
+            raise ValueError("dram_watermark must be in (0, 1]")
+        if promotion_hysteresis < 1:
+            raise ValueError("promotion_hysteresis must be >= 1")
+        self.slow_tier = slow_tier
+        self.dram_watermark = dram_watermark
+        self.promotion_hysteresis = promotion_hysteresis
+        self.hot_percentile = hot_percentile
+        self.name = name or f"TPP*({slow_tier})"
+        self._hot_streak: dict[int, int] = {}
+
+    def recommend(
+        self, record: ProfileRecord, system: TieredMemorySystem
+    ) -> dict[int, int]:
+        slow_idx = system.tier_index(self.slow_tier)
+        threshold = float(np.percentile(record.hotness, self.hot_percentile))
+        hot_now = record.hotness > threshold
+
+        moves: dict[int, int] = {}
+        # Promotion with hysteresis.
+        for region in system.space.regions:
+            rid = region.region_id
+            if hot_now[rid]:
+                self._hot_streak[rid] = self._hot_streak.get(rid, 0) + 1
+            else:
+                self._hot_streak[rid] = 0
+            if (
+                region.assigned_tier != 0
+                and self._hot_streak[rid] >= self.promotion_hysteresis
+            ):
+                moves[rid] = 0
+
+        # Watermark-driven demotion: only if DRAM is over target, and only
+        # the coldest overflow.
+        dram_pages = int(system.placement_counts()[0])
+        target_pages = int(self.dram_watermark * system.space.num_pages)
+        overflow_regions = max(
+            0, (dram_pages - target_pages) // PAGES_PER_REGION
+        )
+        if overflow_regions:
+            coldest_first = np.argsort(record.hotness, kind="stable")
+            demoted = 0
+            for rid in coldest_first:
+                rid = int(rid)
+                if demoted >= overflow_regions:
+                    break
+                region = system.space.regions[rid]
+                if region.assigned_tier == 0 and rid not in moves:
+                    moves[rid] = slow_idx
+                    demoted += 1
+        return moves

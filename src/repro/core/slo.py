@@ -1,0 +1,124 @@
+"""SLA-aware knob auto-tuning.
+
+The paper's abstract promises "the best SLA-aware performance per dollar"
+and §6.3 exposes the alpha knob -- but leaves choosing alpha to the
+operator.  :class:`SLOController` closes the loop: given a slowdown
+budget (e.g. "at most 5 % below DRAM performance"), it adjusts alpha
+after every profile window from the *measured* slowdown, converging to
+the most aggressive TCO setting the SLA tolerates.
+
+The controller is a damped multiplicative-increase/additive-decrease
+loop on alpha:
+
+* measured slowdown above target -> raise alpha sharply (back off to
+  protect the SLA; violations are what the operator cares about),
+* measured slowdown below target with margin -> lower alpha gently
+  (harvest more TCO).
+
+Used with :class:`~repro.core.daemon.TSDaemon` by calling
+:meth:`observe` after each window and installing the returned knob into
+the analytical model (see ``examples/sla_autotune.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.knob import Knob
+
+
+@dataclass
+class SLOController:
+    """Feedback controller mapping an SLA slowdown target to alpha.
+
+    Attributes:
+        target_slowdown: Largest acceptable fractional slowdown (e.g.
+            0.05 for a 5 % SLA).
+        alpha: Current knob value (starts performance-safe).
+        backoff_gain: Multiplicative step toward 1.0 on SLA violation.
+        harvest_step: Additive step toward 0.0 when under target.
+        min_alpha / max_alpha: Clamp range for the knob.
+    """
+
+    target_slowdown: float
+    alpha: float = 0.9
+    backoff_gain: float = 0.5
+    harvest_step: float = 0.05
+    min_alpha: float = 0.05
+    max_alpha: float = 1.0
+    history: list[tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.target_slowdown < 0:
+            raise ValueError("target_slowdown must be >= 0")
+        if not 0.0 <= self.min_alpha <= self.max_alpha <= 1.0:
+            raise ValueError("need 0 <= min_alpha <= max_alpha <= 1")
+        if not 0.0 < self.backoff_gain < 1.0:
+            raise ValueError("backoff_gain must be in (0, 1)")
+        if self.harvest_step <= 0:
+            raise ValueError("harvest_step must be > 0")
+        self.alpha = min(self.max_alpha, max(self.min_alpha, self.alpha))
+
+    def observe(self, measured_slowdown: float) -> Knob:
+        """Fold one window's measured slowdown into the knob.
+
+        Returns:
+            The knob to use for the next window.
+        """
+        self.history.append((self.alpha, measured_slowdown))
+        if measured_slowdown > self.target_slowdown:
+            # SLA violated: jump alpha a fraction of the way to 1.0.
+            self.alpha += (1.0 - self.alpha) * self.backoff_gain
+        elif measured_slowdown < 0.8 * self.target_slowdown:
+            # Comfortable headroom: harvest more TCO.
+            self.alpha -= self.harvest_step
+        self.alpha = min(self.max_alpha, max(self.min_alpha, self.alpha))
+        return Knob(self.alpha)
+
+    @property
+    def violations(self) -> int:
+        """Windows whose measured slowdown exceeded the target."""
+        return sum(1 for _, s in self.history if s > self.target_slowdown)
+
+
+def run_sla_tuned(
+    system,
+    workload,
+    target_slowdown: float,
+    num_windows: int,
+    sampling_rate: int = 100,
+    solver_backend: str = "auto",
+    seed: int = 0,
+):
+    """Run a daemon whose analytical model is retuned every window.
+
+    Returns:
+        ``(summary, controller, per_window_alphas)``.
+    """
+    import numpy as np
+
+    from repro.core.daemon import TSDaemon
+    from repro.core.placement.analytical import AnalyticalModel
+
+    controller = SLOController(target_slowdown=target_slowdown)
+    model = AnalyticalModel(Knob(controller.alpha), backend=solver_backend)
+    daemon = TSDaemon(system, model, sampling_rate=sampling_rate, seed=seed)
+    alphas = []
+    optimal_per_access = system.dram.media.read_ns
+    for _ in range(num_windows):
+        page_ids = workload.next_window()
+        alphas.append(model.knob.alpha)
+        record = daemon.run_window(
+            page_ids, write_fraction=workload.write_fraction
+        )
+        window_optimal = record.accesses * optimal_per_access
+        window_slowdown = (
+            (record.access_ns - window_optimal) / window_optimal
+            if window_optimal
+            else 0.0
+        )
+        model.knob = controller.observe(window_slowdown)
+    summary = daemon.summary(workload.name)
+    summary.extras["alphas"] = np.array(alphas)
+    summary.extras["sla_violations"] = controller.violations
+    return summary, controller, alphas

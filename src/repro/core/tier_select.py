@@ -1,0 +1,158 @@
+"""Compressed-tier set selection (paper §9, research directions i-iii).
+
+The paper leaves "selecting the optimal set of compressed tiers",
+"choosing tiers based on data compressibility" and "determining the ideal
+number of tiers" as future work.  This module implements a principled
+baseline for all three: score every configurable tier (Table 1's 63
+options) for a given data-compressibility profile, keep the Pareto
+frontier in (fault latency, expected page cost) space, and pick ``k``
+tiers spread along it -- so the placement models always have a low-latency
+option for warm data and a high-savings option for cold data, which is
+exactly how §5.1 hand-picks C1/C2/C4/C7/C12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.configs import enumerate_tiers, make_compressed_tier
+from repro.compression.data import PROFILES, page_compressibilities
+from repro.mem.tier import CompressedTier
+
+
+@dataclass(frozen=True)
+class TierScore:
+    """One candidate tier's position in the trade-off space.
+
+    Attributes:
+        algorithm: Compression algorithm name.
+        allocator: Pool allocator name.
+        backing: Backing medium name.
+        fault_ns: Expected demand-fault latency for the profile's mean
+            compressibility.
+        store_ns: Expected compression/store latency (paid on demotion).
+        page_cost: Expected relative cost of storing one page.
+    """
+
+    algorithm: str
+    allocator: str
+    backing: str
+    fault_ns: float
+    store_ns: float
+    page_cost: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Combined latency score: fault cost plus half the store cost.
+
+        Demotions are as frequent as faults in steady state but run on
+        daemon threads, so the store side is discounted -- without it,
+        lz4hc (fast decompress, very slow compress) would spuriously
+        dominate lz4 on the frontier.
+        """
+        return self.fault_ns + 0.5 * self.store_ns
+
+    @property
+    def config(self) -> tuple[str, str, str]:
+        return (self.algorithm, self.allocator, self.backing)
+
+
+def score_tiers(profile: str = "mixed", seed: int = 0) -> list[TierScore]:
+    """Score all 63 Table-1 tier options for a compressibility profile."""
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        )
+    mean_intrinsic = float(page_compressibilities(profile, 4096, seed).mean())
+    scores = []
+    for algo, alloc, backing in enumerate_tiers():
+        tier = make_compressed_tier(
+            name=f"{algo}/{alloc}/{backing}",
+            algorithm_name=algo,
+            allocator_name=alloc,
+            backing=backing,
+            capacity_pages=1024,
+        )
+        scores.append(
+            TierScore(
+                algorithm=algo,
+                allocator=alloc,
+                backing=backing,
+                fault_ns=tier.fault_latency_ns(intrinsic=mean_intrinsic),
+                store_ns=tier.store_latency_ns(mean_intrinsic),
+                page_cost=tier.expected_page_cost(mean_intrinsic),
+            )
+        )
+    return scores
+
+
+def pareto_frontier(scores: list[TierScore]) -> list[TierScore]:
+    """Tiers not dominated in (latency_ns, page_cost), sorted by latency."""
+    ordered = sorted(scores, key=lambda s: (s.latency_ns, s.page_cost))
+    frontier: list[TierScore] = []
+    best_cost = float("inf")
+    for score in ordered:
+        if score.page_cost < best_cost:
+            frontier.append(score)
+            best_cost = score.page_cost
+    return frontier
+
+
+def select_tiers(
+    profile: str = "mixed", k: int = 5, seed: int = 0
+) -> list[TierScore]:
+    """Pick ``k`` Pareto-optimal tiers spread across the latency range.
+
+    Always includes the frontier's fastest and cheapest endpoints, then
+    fills the middle at evenly spaced log-latency targets -- reproducing
+    the structure of the paper's hand-picked spectrum (C1 fastest, C12
+    cheapest, C2/C4/C7 in between).
+
+    Args:
+        profile: Data-compressibility profile of the workload.
+        k: Number of tiers to select (1..frontier size).
+        seed: RNG seed for the profile draw.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    frontier = pareto_frontier(score_tiers(profile, seed))
+    if k >= len(frontier):
+        return frontier
+    if k == 1:
+        return [frontier[-1]]  # cheapest: a single tier exists to save TCO
+    chosen = {0, len(frontier) - 1}
+    log_lat = np.log([s.latency_ns for s in frontier])
+    targets = np.linspace(log_lat[0], log_lat[-1], k)
+    for target in targets[1:-1]:
+        idx = int(np.argmin(np.abs(log_lat - target)))
+        # Avoid duplicates by walking outward.
+        step = 1
+        while idx in chosen and step < len(frontier):
+            for candidate in (idx + step, idx - step):
+                if 0 <= candidate < len(frontier) and candidate not in chosen:
+                    idx = candidate
+                    break
+            else:
+                step += 1
+                continue
+            break
+        chosen.add(idx)
+    return [frontier[i] for i in sorted(chosen)][:k]
+
+
+def build_selected_tiers(
+    scores: list[TierScore], capacity_pages: int
+) -> list[CompressedTier]:
+    """Materialize selected tier scores into CompressedTier instances."""
+    return [
+        make_compressed_tier(
+            name=f"S{i + 1}",
+            algorithm_name=s.algorithm,
+            allocator_name=s.allocator,
+            backing=s.backing,
+            capacity_pages=capacity_pages,
+        )
+        for i, s in enumerate(scores)
+    ]

@@ -1,0 +1,40 @@
+"""Tiered-memory substrate: pages, regions, tiers, faults, migration.
+
+This package is the simulated equivalent of the paper's patched Linux 5.17
+kernel: a byte-addressable fast tier (DRAM), optional slower byte-addressable
+tiers (Optane NVMM, CXL), and any number of *compressed* tiers, each built
+from a compression algorithm, a pool allocator and a backing medium
+(paper §4 and §7.1).
+
+The simulator charges deterministic nanosecond costs for every access and
+migration on a virtual clock; see DESIGN.md §2 for why this substitution
+preserves the paper's results.
+"""
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.media import CXL, DRAM, MediaSpec, NVMM
+from repro.mem.migration import MigrationEngine, MigrationStats
+from repro.mem.page import PAGE_SIZE, PAGES_PER_REGION, REGION_SIZE
+from repro.mem.region import Region
+from repro.mem.stats import TierStats
+from repro.mem.system import TieredMemorySystem
+from repro.mem.tier import ByteAddressableTier, CompressedTier, Tier
+
+__all__ = [
+    "AddressSpace",
+    "ByteAddressableTier",
+    "CXL",
+    "CompressedTier",
+    "DRAM",
+    "MediaSpec",
+    "MigrationEngine",
+    "MigrationStats",
+    "NVMM",
+    "PAGE_SIZE",
+    "PAGES_PER_REGION",
+    "REGION_SIZE",
+    "Region",
+    "Tier",
+    "TierStats",
+    "TieredMemorySystem",
+]

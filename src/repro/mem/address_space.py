@@ -1,0 +1,84 @@
+"""Virtual address space of a simulated application.
+
+An :class:`AddressSpace` is the unit a workload generator produces accesses
+against: a contiguous range of 4 KB pages, tiled into 2 MB regions, where
+each page carries an *intrinsic compressibility* (the deflate-9
+compressed/original ratio of its virtual contents) drawn from a workload
+specific profile (see :mod:`repro.compression.data`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.data import page_compressibilities
+from repro.mem.page import PAGE_SIZE, PAGES_PER_REGION
+from repro.mem.region import RegionSet
+
+
+class AddressSpace:
+    """Pages + regions + per-page compressibility for one application.
+
+    Args:
+        num_pages: Total pages; must tile into whole 2 MB regions.
+        compressibility_profile: Key of
+            :data:`repro.compression.data.PROFILES` describing how
+            compressible this application's data is.
+        seed: RNG seed for the per-page compressibility draw.
+    """
+
+    def __init__(
+        self,
+        num_pages: int,
+        compressibility_profile: str = "mixed",
+        seed: int = 0,
+        compressibility: np.ndarray | None = None,
+    ) -> None:
+        if num_pages < PAGES_PER_REGION:
+            raise ValueError(
+                f"address space needs at least one region "
+                f"({PAGES_PER_REGION} pages), got {num_pages}"
+            )
+        self.num_pages = num_pages
+        self.regions = RegionSet.for_pages(num_pages)
+        if compressibility is not None:
+            compressibility = np.asarray(compressibility, dtype=np.float64)
+            if compressibility.shape != (num_pages,):
+                raise ValueError(
+                    f"explicit compressibility must have shape "
+                    f"({num_pages},), got {compressibility.shape}"
+                )
+            if (compressibility <= 0).any() or (compressibility > 1).any():
+                raise ValueError("compressibility values must be in (0, 1]")
+            self.profile = "custom"
+            self.compressibility = compressibility
+        else:
+            self.profile = compressibility_profile
+            self.compressibility = page_compressibilities(
+                compressibility_profile, num_pages, seed=seed
+            )
+
+    @classmethod
+    def with_size(
+        cls, size_bytes: int, compressibility_profile: str = "mixed", seed: int = 0
+    ) -> "AddressSpace":
+        """Build an address space of ``size_bytes`` (rounded up to regions)."""
+        pages = -(-size_bytes // PAGE_SIZE)
+        pages = -(-pages // PAGES_PER_REGION) * PAGES_PER_REGION
+        return cls(pages, compressibility_profile, seed)
+
+    @property
+    def num_regions(self) -> int:
+        """Number of 2 MB regions."""
+        return len(self.regions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size in bytes (the application's RSS in the simulation)."""
+        return self.num_pages * PAGE_SIZE
+
+    def region_compressibility(self) -> np.ndarray:
+        """Mean intrinsic compressibility per region, shape (num_regions,)."""
+        return self.compressibility.reshape(
+            self.num_regions, PAGES_PER_REGION
+        ).mean(axis=1)

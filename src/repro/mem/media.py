@@ -1,0 +1,75 @@
+"""Physical memory media models (paper §4, "Physical media").
+
+A :class:`MediaSpec` carries the two quantities the paper's cost models
+consume: random access latency and unit cost.  The stock instances are
+calibrated to the paper's own anchors:
+
+* DRAM page access averages ~33 ns (paper §5) and is the cost unit
+  (1.0 $/GB relative).
+* Optane NVMM costs 1/3 of DRAM per GB (paper §8.1, citing [45]).
+* CXL-attached memory sits between the two in cost (~1/2 DRAM per the
+  Pond/TPP ballparks the paper cites).
+
+Byte-tier latencies here are *effective application-visible* per-access
+stall deltas, not raw device latencies: out-of-order cores hide much of a
+byte-addressable tier's extra latency behind memory-level parallelism and
+prefetching, so the observed slowdown per access placed in NVMM is well
+below the raw 2-3x device ratio.  The values are calibrated so that
+HeMem*-style NVMM placement reproduces the paper's slowdown-per-placed-
+fraction (e.g. its PageRank point: ~46 % of data in NVMM at ~31 % slowdown
+implies an effective per-access delta of ~0.67x the DRAM latency).
+Compressed-tier faults get no such discount -- a demand decompression is
+synchronous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MediaSpec:
+    """A physical memory medium.
+
+    Attributes:
+        name: Identifier, e.g. ``"DRAM"``.
+        read_ns: Average random read latency for a cacheline-resident
+            page access, nanoseconds.
+        write_ns: Average write latency, nanoseconds.
+        cost_per_gb: Relative unit cost; DRAM = 1.0.
+    """
+
+    name: str
+    read_ns: float
+    write_ns: float
+    cost_per_gb: float
+
+    @property
+    def cost_per_page(self) -> float:
+        """Relative cost of storing one 4 KB page on this medium."""
+        from repro.mem.page import PAGE_SIZE
+
+        return self.cost_per_gb * PAGE_SIZE / (1 << 30)
+
+
+DRAM = MediaSpec(name="DRAM", read_ns=33.0, write_ns=33.0, cost_per_gb=1.0)
+
+#: Intel Optane DC PMM in flat (volatile) mode; effective per-access cost
+#: (~2.4x DRAM raw, ~1.4x after MLP hiding on mixed access patterns).
+NVMM = MediaSpec(name="NVMM", read_ns=78.0, write_ns=120.0, cost_per_gb=1 / 3)
+
+#: CXL-attached DDR expander; effective per-access cost.
+CXL = MediaSpec(name="CXL", read_ns=60.0, write_ns=75.0, cost_per_gb=0.5)
+
+#: Lookup table by name for config files / CLI parsing.
+MEDIA: dict[str, MediaSpec] = {m.name: m for m in (DRAM, NVMM, CXL)}
+
+
+def media(name: str) -> MediaSpec:
+    """Look up a stock medium by name (case-insensitive)."""
+    try:
+        return MEDIA[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown medium {name!r}; available: {sorted(MEDIA)}"
+        ) from None

@@ -1,0 +1,29 @@
+"""Page and region size constants.
+
+TierScape's TS-Daemon manages memory at 2 MB *region* granularity while the
+kernel's zswap path compresses individual 4 KB pages (paper §7.2).  Both
+granularities appear throughout the simulator, so the constants live in one
+place.
+"""
+
+from __future__ import annotations
+
+#: Base page size, bytes (x86-64 small page).
+PAGE_SIZE = 4096
+
+#: TS-Daemon management granularity, bytes (paper §7.2: 2 MB regions).
+REGION_SIZE = 2 * 1024 * 1024
+
+#: Pages per region (512).
+PAGES_PER_REGION = REGION_SIZE // PAGE_SIZE
+
+
+def page_to_region(page_id: int) -> int:
+    """Region index containing ``page_id``."""
+    return page_id // PAGES_PER_REGION
+
+
+def region_page_range(region_id: int) -> range:
+    """Page ids covered by region ``region_id``."""
+    start = region_id * PAGES_PER_REGION
+    return range(start, start + PAGES_PER_REGION)

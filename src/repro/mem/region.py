@@ -1,0 +1,79 @@
+"""2 MB management regions (paper §7.2).
+
+TS-Daemon manages the address space at 2 MB granularity: hotness is
+accumulated per region and migrations move whole regions.  Individual 4 KB
+pages may still *leave* a region's assigned tier on demand (a fault on a
+compressed page promotes just that page), which is why the paper's Figure 9
+distinguishes recommended from actual placement -- the simulator reproduces
+that distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.page import PAGES_PER_REGION
+
+
+@dataclass
+class Region:
+    """One 2 MB region of an application's address space.
+
+    Attributes:
+        region_id: Dense index of the region.
+        assigned_tier: Index of the tier the placement model last assigned
+            this region to (the *recommendation*); individual pages may have
+            faulted elsewhere since.
+        hotness: Cooled access count from telemetry (updated per window).
+    """
+
+    region_id: int
+    assigned_tier: int = 0
+    hotness: float = 0.0
+
+    @property
+    def start_page(self) -> int:
+        """First page id covered by this region."""
+        return self.region_id * PAGES_PER_REGION
+
+    @property
+    def end_page(self) -> int:
+        """One past the last page id covered by this region."""
+        return self.start_page + PAGES_PER_REGION
+
+    def pages(self) -> range:
+        """Page ids covered by this region."""
+        return range(self.start_page, self.end_page)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Region({self.region_id}, tier={self.assigned_tier}, "
+            f"hotness={self.hotness:.1f})"
+        )
+
+
+@dataclass
+class RegionSet:
+    """The full set of regions of one address space."""
+
+    regions: list[Region] = field(default_factory=list)
+
+    @classmethod
+    def for_pages(cls, num_pages: int) -> "RegionSet":
+        """Create regions covering ``num_pages`` pages (must tile exactly)."""
+        if num_pages % PAGES_PER_REGION:
+            raise ValueError(
+                f"num_pages ({num_pages}) must be a multiple of "
+                f"{PAGES_PER_REGION} (2 MB regions)"
+            )
+        count = num_pages // PAGES_PER_REGION
+        return cls(regions=[Region(region_id=i) for i in range(count)])
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def __getitem__(self, idx: int) -> Region:
+        return self.regions[idx]

@@ -1,0 +1,81 @@
+"""Per-tier statistics (paper §7.1, "Tiers statistics").
+
+The patched kernel exports per-tier counters (pages resident, compressed
+size, total faults); the simulator keeps the same counters per tier so the
+evaluation harness can reproduce the paper's fault and occupancy plots
+(Figures 8, 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TierStats:
+    """Mutable counters for one tier.
+
+    Attributes:
+        accesses: Memory accesses served while pages were resident here.
+        faults: Demand faults (for a compressed tier: decompressions
+            triggered by application access; zero for byte tiers).
+        pages_in: Pages migrated or promoted into the tier.
+        pages_out: Pages migrated or promoted out of the tier.
+        compressed_bytes: Bytes currently stored compressed (compressed
+            tiers only).
+        stores: Compressed-object store operations (compressed tiers only).
+    """
+
+    accesses: int = 0
+    faults: int = 0
+    pages_in: int = 0
+    pages_out: int = 0
+    compressed_bytes: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> dict:
+        """Immutable copy suitable for per-window records."""
+        return {
+            "accesses": self.accesses,
+            "faults": self.faults,
+            "pages_in": self.pages_in,
+            "pages_out": self.pages_out,
+            "compressed_bytes": self.compressed_bytes,
+            "stores": self.stores,
+        }
+
+
+@dataclass
+class ClockStats:
+    """Virtual-time accounting for an experiment run.
+
+    Attributes:
+        access_ns: Nanoseconds the application spent in memory accesses
+            (including fault service time).
+        optimal_ns: Nanoseconds the same accesses would have cost had every
+            one hit DRAM (Eq. 3's ``perf_opt``).
+        migration_ns: Nanoseconds of daemon-side migration work, including
+            (de)compression; kept separate per paper §8.4 ("TierScape Tax").
+        total_accesses: Number of simulated memory accesses.
+    """
+
+    access_ns: float = 0.0
+    optimal_ns: float = 0.0
+    migration_ns: float = 0.0
+    total_accesses: int = 0
+
+    @property
+    def slowdown(self) -> float:
+        """Fractional slowdown vs the all-DRAM optimum (0.0 = parity)."""
+        if self.optimal_ns == 0:
+            return 0.0
+        return (self.access_ns - self.optimal_ns) / self.optimal_ns
+
+    field_names = ("access_ns", "optimal_ns", "migration_ns", "total_accesses")
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.field_names}
+
+
+# Keep dataclass field() import referenced for subclasses extending stats.
+_ = field

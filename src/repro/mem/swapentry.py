@@ -1,0 +1,141 @@
+"""Kernel-style swap-entry encoding for compressed pages (paper §7.1).
+
+The patched kernel records, for every compressed-out page, a swap entry
+whose bits identify *which* zswap tier holds the object ("the swap entry
+contains the tier information, including the pool details") plus the
+object's offset in that pool.  This module provides the same packed
+encoding so handles can round-trip through a single integer, exactly as
+they must in a real page-table entry:
+
+bit layout (64-bit value)::
+
+    [63:56] tier_id     (8 bits  -> up to 255 compressed tiers)
+    [55:48] flags       (8 bits  -> ACCESSED/DIRTY/PREFETCHED)
+    [47: 0] object_id   (48 bits -> pool-local object identifier)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TIER_SHIFT = 56
+FLAGS_SHIFT = 48
+OBJECT_MASK = (1 << 48) - 1
+FLAGS_MASK = 0xFF
+TIER_MASK = 0xFF
+
+#: Flag bits.
+FLAG_ACCESSED = 0x1
+FLAG_DIRTY = 0x2
+FLAG_PREFETCHED = 0x4
+
+
+@dataclass(frozen=True)
+class SwapEntry:
+    """Decoded swap entry.
+
+    Attributes:
+        tier_id: Index of the compressed tier holding the object.
+        object_id: Pool-local object identifier.
+        flags: Flag bits (ACCESSED / DIRTY / PREFETCHED).
+    """
+
+    tier_id: int
+    object_id: int
+    flags: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tier_id <= TIER_MASK:
+            raise ValueError(f"tier_id must fit 8 bits, got {self.tier_id}")
+        if not 0 <= self.object_id <= OBJECT_MASK:
+            raise ValueError("object_id must fit 48 bits")
+        if not 0 <= self.flags <= FLAGS_MASK:
+            raise ValueError("flags must fit 8 bits")
+
+    def encode(self) -> int:
+        """Pack into a single 64-bit integer."""
+        return (
+            (self.tier_id << TIER_SHIFT)
+            | (self.flags << FLAGS_SHIFT)
+            | self.object_id
+        )
+
+    @classmethod
+    def decode(cls, value: int) -> "SwapEntry":
+        """Unpack a 64-bit swap-entry value."""
+        if not 0 <= value < (1 << 64):
+            raise ValueError("swap entry must be a 64-bit value")
+        return cls(
+            tier_id=(value >> TIER_SHIFT) & TIER_MASK,
+            flags=(value >> FLAGS_SHIFT) & FLAGS_MASK,
+            object_id=value & OBJECT_MASK,
+        )
+
+    def with_flags(self, flags: int) -> "SwapEntry":
+        """Copy with additional flag bits set."""
+        return SwapEntry(
+            tier_id=self.tier_id,
+            object_id=self.object_id,
+            flags=self.flags | flags,
+        )
+
+    @property
+    def accessed(self) -> bool:
+        return bool(self.flags & FLAG_ACCESSED)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.flags & FLAG_DIRTY)
+
+    @property
+    def prefetched(self) -> bool:
+        return bool(self.flags & FLAG_PREFETCHED)
+
+
+class SwapEntryTable:
+    """Per-address-space table of swap entries for compressed-out pages.
+
+    The simulator's :class:`~repro.mem.system.TieredMemorySystem` keeps a
+    plain location array for speed; this table is the faithful
+    kernel-shaped view layered on top for tooling and tests, and it is
+    what an external integration (e.g. a trace exporter) should consume.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, int] = {}
+
+    def insert(self, page_id: int, entry: SwapEntry) -> None:
+        if page_id in self._entries:
+            raise KeyError(f"page {page_id} already has a swap entry")
+        self._entries[page_id] = entry.encode()
+
+    def lookup(self, page_id: int) -> SwapEntry:
+        try:
+            return SwapEntry.decode(self._entries[page_id])
+        except KeyError:
+            raise KeyError(f"page {page_id} has no swap entry") from None
+
+    def remove(self, page_id: int) -> SwapEntry:
+        try:
+            return SwapEntry.decode(self._entries.pop(page_id))
+        except KeyError:
+            raise KeyError(f"page {page_id} has no swap entry") from None
+
+    def mark(self, page_id: int, flags: int) -> None:
+        """OR flag bits into an existing entry."""
+        entry = self.lookup(page_id)
+        self._entries[page_id] = entry.with_flags(flags).encode()
+
+    def pages_in_tier(self, tier_id: int) -> list[int]:
+        """All pages whose entries point at ``tier_id``."""
+        return [
+            pid
+            for pid, value in self._entries.items()
+            if (value >> TIER_SHIFT) & TIER_MASK == tier_id
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._entries

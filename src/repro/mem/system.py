@@ -1,0 +1,357 @@
+"""The tiered memory system simulator.
+
+:class:`TieredMemorySystem` binds an application address space to a set of
+tiers and simulates the two data paths of the paper's modified kernel:
+
+* the **access path**: loads/stores hit whatever tier each page currently
+  occupies; a hit on a compressed tier is a fault that decompresses the page
+  and promotes it to the fastest byte-addressable tier with room
+  (paper §6.5),
+* the **migration path**: the daemon moves whole 2 MB regions between tiers;
+  moving into a compressed tier compresses each page, moving between two
+  compressed tiers decompresses and recompresses (the paper's naive path,
+  §7.1).
+
+Application-visible time (access + fault service) and daemon time
+(migrations) are accounted separately on the virtual clock, matching the
+paper's "TierScape Tax" methodology (§8.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.allocators.base import AllocationError
+from repro.mem.address_space import AddressSpace
+from repro.mem.page import PAGE_SIZE
+from repro.mem.stats import ClockStats
+from repro.mem.tier import CHUNK_BYTES, ByteAddressableTier, CompressedTier, Tier
+
+#: 4 KB page copy cost in streaming chunks.
+_PAGE_CHUNKS = PAGE_SIZE // CHUNK_BYTES
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one access batch.
+
+    Attributes:
+        accesses: Total accesses in the batch.
+        faults: Compressed-tier faults triggered.
+        access_ns: Application nanoseconds charged.
+        latency_histogram: ``(latency_ns, count)`` pairs covering every
+            access in the batch; used for tail-latency percentiles.
+        faulted_pages: Page ids that demand-faulted (for prefetchers).
+    """
+
+    accesses: int = 0
+    faults: int = 0
+    access_ns: float = 0.0
+    latency_histogram: list[tuple[float, int]] = field(default_factory=list)
+    faulted_pages: list[int] = field(default_factory=list)
+
+
+class TieredMemorySystem:
+    """A set of tiers serving one application's address space.
+
+    Args:
+        tiers: Tier list; ``tiers[0]`` must be the fastest byte-addressable
+            tier (DRAM by convention) -- it is the promotion target and the
+            performance baseline (Eq. 3).
+        address_space: The application's pages and compressibility map.
+
+    All pages start resident in ``tiers[0]``.
+    """
+
+    def __init__(self, tiers: list[Tier], address_space: AddressSpace) -> None:
+        if not tiers:
+            raise ValueError("need at least one tier")
+        if not isinstance(tiers[0], ByteAddressableTier):
+            raise ValueError("tiers[0] must be byte-addressable (DRAM)")
+        if tiers[0].capacity_pages < address_space.num_pages:
+            raise ValueError(
+                "tiers[0] must be able to hold the whole address space "
+                f"({address_space.num_pages} pages); the placement policy, "
+                "not capacity pressure, drives tiering in TierScape"
+            )
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        self.tiers = tiers
+        self.space = address_space
+        self.clock = ClockStats()
+        self.page_location = np.zeros(address_space.num_pages, dtype=np.int16)
+        # Per-page recency, in profile windows -- the simulator's analogue
+        # of the page-table ACCESSED bit / swap LRU position: demotions
+        # skip recently touched pages (see move_region).
+        self.current_window = 0
+        self.last_access_window = np.full(
+            address_space.num_pages, -(1 << 30), dtype=np.int64
+        )
+        tiers[0].add_pages(address_space.num_pages)
+        self._byte_tier_indices = [
+            i for i, t in enumerate(tiers) if isinstance(t, ByteAddressableTier)
+        ]
+
+    # -- small helpers -------------------------------------------------------
+
+    @property
+    def dram(self) -> ByteAddressableTier:
+        """The fastest byte-addressable tier (promotion target)."""
+        return self.tiers[0]  # type: ignore[return-value]
+
+    def tier_index(self, name: str) -> int:
+        """Index of the tier called ``name``."""
+        for i, tier in enumerate(self.tiers):
+            if tier.name == name:
+                return i
+        raise KeyError(f"no tier named {name!r}")
+
+    def placement_counts(self) -> np.ndarray:
+        """Application pages per tier, shape ``(len(tiers),)``."""
+        return np.bincount(self.page_location, minlength=len(self.tiers))
+
+    # -- access path ----------------------------------------------------------
+
+    def access_batch(
+        self, page_ids: np.ndarray, write_fraction: float = 0.0
+    ) -> BatchResult:
+        """Simulate a batch of page accesses.
+
+        Within the batch, the first access to a compressed page pays the
+        fault latency and promotes the page; its remaining accesses are then
+        served from the promotion target -- the unit the paper's Eq. 4
+        charges as ``MemAcc_CT * (Lat_CT + Lat_TD)``.
+
+        Args:
+            page_ids: 1-D integer array of accessed page ids (with repeats).
+            write_fraction: Fraction of accesses that are stores.
+
+        Returns:
+            A :class:`BatchResult`; timing is also accumulated on the
+            system's virtual clock.
+        """
+        result = BatchResult()
+        if len(page_ids) == 0:
+            return result
+        pages, counts = np.unique(np.asarray(page_ids), return_counts=True)
+        self.last_access_window[pages] = self.current_window
+        total = int(counts.sum())
+        result.accesses = total
+        self.clock.total_accesses += total
+        self.clock.optimal_ns += total * self.dram.media.read_ns
+
+        locations = self.page_location[pages]
+        for idx, tier in enumerate(self.tiers):
+            mask = locations == idx
+            if not mask.any():
+                continue
+            tier_counts = counts[mask]
+            n_accesses = int(tier_counts.sum())
+            if isinstance(tier, ByteAddressableTier):
+                ns = tier.access_ns(n_accesses, write_fraction)
+                tier.stats.accesses += n_accesses
+                result.access_ns += ns
+                per_access = ns / n_accesses
+                result.latency_histogram.append((per_access, n_accesses))
+            else:
+                self._fault_pages(
+                    tier, pages[mask], tier_counts, result, write_fraction
+                )
+        self.clock.access_ns += result.access_ns
+        return result
+
+    def _fault_pages(
+        self,
+        tier: CompressedTier,
+        page_ids: np.ndarray,
+        counts: np.ndarray,
+        result: BatchResult,
+        write_fraction: float,
+    ) -> None:
+        """Serve accesses to pages resident in a compressed tier."""
+        target_idx = self._promotion_target()
+        target = self.tiers[target_idx]
+        assert isinstance(target, ByteAddressableTier)
+        for pid, count in zip(page_ids.tolist(), counts.tolist()):
+            fault_ns = tier.remove_page(pid, fault=True)
+            fault_ns += target.media.write_ns * _PAGE_CHUNKS  # place the page
+            target.add_pages(1)
+            self.page_location[pid] = target_idx
+            tier.stats.accesses += 1
+            result.faults += 1
+            result.faulted_pages.append(pid)
+            result.access_ns += fault_ns
+            result.latency_histogram.append((fault_ns, 1))
+            if count > 1:
+                rest = count - 1
+                ns = target.access_ns(rest, write_fraction)
+                target.stats.accesses += rest
+                result.access_ns += ns
+                result.latency_histogram.append((ns / rest, rest))
+
+    def _promotion_target(self) -> int:
+        """Fastest byte-addressable tier with room for one more page."""
+        for idx in self._byte_tier_indices:
+            if self.tiers[idx].free_pages > 0:
+                return idx
+        raise AllocationError(
+            "no byte-addressable tier has room to promote a faulted page; "
+            "size tiers[0] to hold the whole address space"
+        )
+
+    # -- migration path --------------------------------------------------------
+
+    def resolve_destination(self, page_id: int, dst_idx: int) -> int:
+        """Where a page would actually land if sent to ``dst_idx``.
+
+        A compressed destination that would reject the page (incompressible
+        data, paper §3.3) or that is at pool capacity refuses the store,
+        like real zswap: the page stays where it is if it is already byte
+        addressable, or lands in the fastest byte tier with room if it was
+        being moved out of another compressed tier.
+        """
+        dst = self.tiers[dst_idx]
+        if isinstance(dst, CompressedTier):
+            intrinsic = float(self.space.compressibility[page_id])
+            if not dst.accepts(intrinsic) or dst.free_pages <= 0:
+                src_idx = int(self.page_location[page_id])
+                if isinstance(self.tiers[src_idx], ByteAddressableTier):
+                    return src_idx
+                return self._promotion_target()
+        return dst_idx
+
+    #: Enable the paper's §7.1 optimization: migrating between two
+    #: compressed tiers that share a compression algorithm copies the
+    #: compressed object instead of decompressing and recompressing.
+    fast_same_algo_migration = False
+
+    def move_page(self, page_id: int, dst_idx: int) -> float:
+        """Migrate one page; returns daemon nanoseconds charged.
+
+        Byte-to-byte moves stream the 4 KB page; moves into a compressed
+        tier compress it; moves out decompress it; compressed-to-compressed
+        does both (the paper's naive path) -- unless
+        :attr:`fast_same_algo_migration` is on and the two tiers share an
+        algorithm, in which case only the compressed bytes stream between
+        the backing media.
+        """
+        src_idx = int(self.page_location[page_id])
+        dst_idx = self.resolve_destination(page_id, dst_idx)
+        if src_idx == dst_idx:
+            return 0.0
+        src = self.tiers[src_idx]
+        dst = self.tiers[dst_idx]
+        # Validate the destination *before* touching the source so a
+        # refused move leaves the system unchanged.
+        if isinstance(dst, ByteAddressableTier) and dst.free_pages < 1:
+            raise AllocationError(
+                f"tier {dst.name} over capacity: cannot accept page "
+                f"{page_id} ({dst.used_pages}/{dst.capacity_pages})"
+            )
+        intrinsic = float(self.space.compressibility[page_id])
+        ns = 0.0
+        if (
+            self.fast_same_algo_migration
+            and isinstance(src, CompressedTier)
+            and isinstance(dst, CompressedTier)
+            and src.algorithm.name == dst.algorithm.name
+        ):
+            ns += self._move_compressed_object(page_id, src, dst, intrinsic)
+            self.page_location[page_id] = dst_idx
+            self.clock.migration_ns += ns
+            return ns
+        if isinstance(src, CompressedTier):
+            ns += src.remove_page(page_id)
+        else:
+            src.remove_pages(1)
+            ns += src.media.read_ns * _PAGE_CHUNKS
+        if isinstance(dst, CompressedTier):
+            ns += dst.store_page(page_id, intrinsic)
+        else:
+            dst.add_pages(1)
+            ns += dst.media.write_ns * _PAGE_CHUNKS
+        self.page_location[page_id] = dst_idx
+        self.clock.migration_ns += ns
+        return ns
+
+    def _move_compressed_object(
+        self, page_id: int, src: CompressedTier, dst: CompressedTier, intrinsic: float
+    ) -> float:
+        """§7.1 fast path: stream the compressed object, no codec work."""
+        import math
+
+        from repro.mem.tier import CHUNK_BYTES
+
+        csize = src.algorithm.compressed_size(intrinsic)
+        chunks = math.ceil(csize / CHUNK_BYTES)
+        ns = (
+            src.allocator.mgmt_overhead_ns
+            + dst.allocator.mgmt_overhead_ns
+            + src.media.read_ns * chunks
+            + dst.media.write_ns * chunks
+        )
+        # Bookkeeping still goes through the normal store/remove calls,
+        # but the codec cost those methods return is discarded in favour
+        # of the streaming cost computed above.
+        src.remove_page(page_id)
+        dst.store_page(page_id, intrinsic)
+        return ns
+
+    def move_region(
+        self, region_id: int, dst_idx: int, recency_windows: int = 0
+    ) -> float:
+        """Migrate every page of a 2 MB region; returns daemon nanoseconds.
+
+        Args:
+            region_id: Region to move.
+            dst_idx: Destination tier index.
+            recency_windows: When moving into a *compressed* tier, skip
+                pages accessed within the last this-many profile windows --
+                the analogue of zswap only taking pages from the inactive
+                LRU (a recently touched page would fault straight back).
+                Byte-addressable destinations always take every page: a
+                warm page in NVMM is served in place, which is exactly the
+                HeMem-style trade the paper's baselines make.  0 moves
+                everything.
+        """
+        region = self.space.regions[region_id]
+        ns = 0.0
+        if self.tiers[dst_idx].is_compressed and recency_windows > 0:
+            cutoff = self.current_window - recency_windows
+            recent = self.last_access_window
+            for pid in region.pages():
+                if recent[pid] > cutoff:
+                    continue
+                ns += self.move_page(pid, dst_idx)
+        else:
+            for pid in region.pages():
+                ns += self.move_page(pid, dst_idx)
+        region.assigned_tier = dst_idx
+        return ns
+
+    def advance_window(self) -> None:
+        """Tick the recency clock; the daemon calls this once per window."""
+        self.current_window += 1
+
+    # -- TCO (Eq. 8 / Eq. 10) ---------------------------------------------------
+
+    def tco(self) -> float:
+        """Current memory TCO in relative $ (actual pool occupancy)."""
+        return sum(tier.cost() for tier in self.tiers)
+
+    def tco_max(self) -> float:
+        """TCO with everything in DRAM (Eq. 1's ``TCO_max``)."""
+        return self.space.num_pages * self.dram.media.cost_per_page
+
+    def tco_savings(self) -> float:
+        """Fractional TCO savings vs all-DRAM."""
+        return 1.0 - self.tco() / self.tco_max()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        placement = self.placement_counts()
+        return "TieredMemorySystem(" + ", ".join(
+            f"{t.name}={placement[i]}" for i, t in enumerate(self.tiers)
+        ) + ")"

@@ -1,0 +1,298 @@
+"""Memory tiers: byte-addressable and compressed (paper §4).
+
+A tier is where pages live.  Byte-addressable tiers (DRAM, NVMM, CXL) serve
+loads directly at their medium's latency.  Compressed tiers hold pages as
+compressed objects inside a pool allocator; an access faults, pays
+decompression plus pool-management plus media-streaming latency, and the
+page is promoted to a byte-addressable tier (paper §6.5).
+
+Latency model for one compressed-page fault::
+
+    Lat_CT = mgmt_overhead(allocator)
+           + decompress_ns(algorithm)
+           + media.read_ns * ceil(compressed_size / CHUNK_BYTES)
+
+i.e. the compressed object is streamed from the backing medium in
+:data:`CHUNK_BYTES` units while the algorithm decompresses.  Storing a page
+is symmetric with ``compress_ns`` and ``write_ns``.  The model reproduces
+the paper's Figure 2a structure: the algorithm dominates, the pool manager
+adds a constant, and an Optane backing stretches the media term by ~3x.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.allocators.base import AllocationError, Handle, PoolAllocator
+from repro.allocators.zsmalloc import size_class
+from repro.compression.model import AlgorithmModel
+from repro.mem.media import DRAM, MediaSpec
+from repro.mem.page import PAGE_SIZE
+from repro.mem.stats import TierStats
+
+#: Granularity at which compressed objects stream from their backing medium.
+CHUNK_BYTES = 256
+
+#: zswap rejects objects that barely compress (paper footnote 1).
+REJECT_RATIO = 0.95
+
+
+class Tier:
+    """Base class for all tiers.
+
+    Args:
+        name: Display name (e.g. ``"DRAM"``, ``"CT-1"``).
+        media: Backing physical medium.
+        capacity_pages: Physical pages this tier may occupy.
+    """
+
+    is_compressed = False
+
+    def __init__(self, name: str, media: MediaSpec, capacity_pages: int) -> None:
+        if capacity_pages < 0:
+            raise ValueError("capacity_pages must be >= 0")
+        self.name = name
+        self.media = media
+        self.capacity_pages = capacity_pages
+        self.stats = TierStats()
+
+    # -- interface ----------------------------------------------------------
+
+    @property
+    def used_pages(self) -> int:
+        """Physical pages currently occupied."""
+        raise NotImplementedError
+
+    @property
+    def free_pages(self) -> int:
+        """Physical pages still available."""
+        return self.capacity_pages - self.used_pages
+
+    def cost(self) -> float:
+        """Current TCO contribution (relative $; DRAM page = cost unit)."""
+        return self.used_pages * self.media.cost_per_page
+
+    def expected_page_cost(self, intrinsic: float) -> float:
+        """Modelled cost of placing one page here (for the ILP, Eq. 8)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}({self.name}, "
+            f"{self.used_pages}/{self.capacity_pages} pages)"
+        )
+
+
+class ByteAddressableTier(Tier):
+    """DRAM / NVMM / CXL tier: loads served in place at media latency."""
+
+    def __init__(self, name: str, media: MediaSpec, capacity_pages: int) -> None:
+        super().__init__(name, media, capacity_pages)
+        self._resident = 0
+
+    @property
+    def used_pages(self) -> int:
+        return self._resident
+
+    def access_ns(self, count: int = 1, write_fraction: float = 0.0) -> float:
+        """Latency of ``count`` accesses to resident pages."""
+        read_ns = self.media.read_ns * (1.0 - write_fraction)
+        write_ns = self.media.write_ns * write_fraction
+        return count * (read_ns + write_ns)
+
+    def add_pages(self, count: int = 1) -> None:
+        """Account ``count`` pages moving in; raises when over capacity."""
+        if self._resident + count > self.capacity_pages:
+            raise AllocationError(
+                f"tier {self.name} over capacity: "
+                f"{self._resident}+{count} > {self.capacity_pages}"
+            )
+        self._resident += count
+        self.stats.pages_in += count
+
+    def remove_pages(self, count: int = 1) -> None:
+        """Account ``count`` pages moving out."""
+        if count > self._resident:
+            raise AllocationError(
+                f"tier {self.name} cannot release {count} pages "
+                f"({self._resident} resident)"
+            )
+        self._resident -= count
+        self.stats.pages_out += count
+
+    def expected_page_cost(self, intrinsic: float) -> float:
+        return self.media.cost_per_page
+
+
+@dataclass(frozen=True)
+class _StoredPage:
+    handle: Handle
+    compressed_size: int
+
+
+class CompressedTier(Tier):
+    """A zswap-style compressed tier = algorithm + allocator + medium.
+
+    Args:
+        name: Display name (e.g. ``"C7"``).
+        algorithm: Compression algorithm cost model.
+        allocator: Pool allocator instance (owned by this tier).
+        media: Medium backing the pool pages.
+        capacity_pages: Bound on pool pages.
+    """
+
+    is_compressed = True
+
+    def __init__(
+        self,
+        name: str,
+        algorithm: AlgorithmModel,
+        allocator: PoolAllocator,
+        media: MediaSpec,
+        capacity_pages: int,
+    ) -> None:
+        super().__init__(name, media, capacity_pages)
+        self.algorithm = algorithm
+        self.allocator = allocator
+        self._stored: dict[int, _StoredPage] = {}
+
+    # -- capacity -----------------------------------------------------------
+
+    @property
+    def used_pages(self) -> int:
+        return self.allocator.pool_pages
+
+    @property
+    def resident_pages(self) -> int:
+        """Application pages stored compressed (not pool pages)."""
+        return len(self._stored)
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._stored
+
+    def stored_bytes_in_range(self, start: int, end: int) -> int:
+        """Compressed bytes stored for pages in ``[start, end)``.
+
+        Used for per-tenant TCO attribution when applications are
+        co-located in one address space.
+        """
+        return sum(
+            stored.compressed_size
+            for pid, stored in self._stored.items()
+            if start <= pid < end
+        )
+
+    # -- admission ----------------------------------------------------------
+
+    def accepts(self, intrinsic: float) -> bool:
+        """Whether zswap would admit a page of this compressibility."""
+        return self.algorithm.ratio(intrinsic) < REJECT_RATIO
+
+    # -- latency model ------------------------------------------------------
+
+    def _media_stream_ns(self, nbytes: int, write: bool) -> float:
+        per_chunk = self.media.write_ns if write else self.media.read_ns
+        return per_chunk * math.ceil(nbytes / CHUNK_BYTES)
+
+    def store_latency_ns(self, intrinsic: float) -> float:
+        """Nanoseconds to compress and store one page."""
+        csize = self.algorithm.compressed_size(intrinsic)
+        return (
+            self.allocator.mgmt_overhead_ns
+            + self.algorithm.compress_ns()
+            + self._media_stream_ns(csize, write=True)
+        )
+
+    def fault_latency_ns(self, page_id: int | None = None, intrinsic: float | None = None) -> float:
+        """Nanoseconds to decompress one page on demand (Eq. 4's Lat_CT).
+
+        Either ``page_id`` (for a stored page) or ``intrinsic`` (for
+        planning) must be given.
+        """
+        if page_id is not None and page_id in self._stored:
+            csize = self._stored[page_id].compressed_size
+        elif intrinsic is not None:
+            csize = self.algorithm.compressed_size(intrinsic)
+        else:
+            raise ValueError("need a stored page_id or an intrinsic ratio")
+        return (
+            self.allocator.mgmt_overhead_ns
+            + self.algorithm.decompress_ns()
+            + self._media_stream_ns(csize, write=False)
+        )
+
+    def expected_fault_ns(self, intrinsic: float = 0.5) -> float:
+        """Planning-time fault latency for a typical page (for the ILP)."""
+        return self.fault_latency_ns(intrinsic=intrinsic)
+
+    # -- store / remove -----------------------------------------------------
+
+    def store_page(self, page_id: int, intrinsic: float) -> float:
+        """Compress and store a page; returns the latency charged.
+
+        Raises:
+            AllocationError: If the page is already stored, zswap would
+                reject it, or the pool is at capacity.
+        """
+        if page_id in self._stored:
+            raise AllocationError(
+                f"page {page_id} already stored in tier {self.name}"
+            )
+        if not self.accepts(intrinsic):
+            raise AllocationError(
+                f"tier {self.name} rejects page {page_id}: "
+                f"ratio {self.algorithm.ratio(intrinsic):.2f} >= {REJECT_RATIO}"
+            )
+        csize = self.algorithm.compressed_size(intrinsic)
+        if self.used_pages >= self.capacity_pages:
+            raise AllocationError(f"tier {self.name} pool is at capacity")
+        handle = self.allocator.store(csize)
+        self._stored[page_id] = _StoredPage(handle=handle, compressed_size=csize)
+        self.stats.pages_in += 1
+        self.stats.stores += 1
+        self.stats.compressed_bytes += csize
+        return self.store_latency_ns(intrinsic)
+
+    def remove_page(self, page_id: int, *, fault: bool = False) -> float:
+        """Release a stored page; returns the decompression latency.
+
+        Args:
+            page_id: The page to remove.
+            fault: True when removal is a demand fault (counted in tier
+                fault statistics) rather than a daemon migration.
+        """
+        try:
+            stored = self._stored.pop(page_id)
+        except KeyError:
+            raise AllocationError(
+                f"page {page_id} is not stored in tier {self.name}"
+            ) from None
+        latency = (
+            self.allocator.mgmt_overhead_ns
+            + self.algorithm.decompress_ns()
+            + self._media_stream_ns(stored.compressed_size, write=False)
+        )
+        self.allocator.free(stored.handle)
+        self.stats.pages_out += 1
+        self.stats.compressed_bytes -= stored.compressed_size
+        if fault:
+            self.stats.faults += 1
+        return latency
+
+    # -- planning cost ------------------------------------------------------
+
+    def expected_page_cost(self, intrinsic: float) -> float:
+        """Modelled pool cost of one page (Eq. 8's ``C_CT * USD_CT``)."""
+        ratio = self.algorithm.ratio(intrinsic)
+        effective = self._allocator_effective_ratio(ratio)
+        return effective * self.media.cost_per_page
+
+    def _allocator_effective_ratio(self, ratio: float) -> float:
+        """Packing-aware effective ratio (zbud floors at 1/2, etc.)."""
+        max_per_page = getattr(self.allocator, "max_objects_per_page", None)
+        if max_per_page is not None:
+            return max(ratio, 1.0 / max_per_page)
+        # zsmalloc: class rounding.
+        csize = max(1, int(round(ratio * PAGE_SIZE)))
+        return size_class(csize) / PAGE_SIZE

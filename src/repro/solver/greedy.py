@@ -1,0 +1,144 @@
+"""LP-dominance greedy solver for the placement multiple-choice knapsack.
+
+The classic MCKP heuristic (Sinha & Zoltners): per region, discard
+LP-dominated options, start every region at its cheapest option, then apply
+*upgrade steps* -- switching one region to a lower-penalty, higher-cost
+option -- in order of best penalty-reduction-per-cost-increase slope until
+the budget is exhausted.  The result matches the LP relaxation except for at
+most one fractional region, so it is near-optimal in practice; unit tests
+cross-check it against the exact backends.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.solver.problem import PlacementProblem, Solution
+
+
+def _undominated_options(
+    costs: np.ndarray, penalties: np.ndarray
+) -> list[tuple[float, float, int]]:
+    """LP-undominated (cost, penalty, tier) options, cost ascending.
+
+    An option is kept iff no other option is both cheaper-or-equal and
+    lower-penalty, and it lies on the lower-left convex hull of the
+    (cost, penalty) cloud.
+    """
+    order = np.lexsort((penalties, costs))
+    frontier: list[tuple[float, float, int]] = []
+    for idx in order:
+        c, p = float(costs[idx]), float(penalties[idx])
+        if frontier and p >= frontier[-1][1]:
+            continue  # dominated: costs more (or same), no penalty gain
+        frontier.append((c, p, int(idx)))
+    # Convex-hull pass: drop options whose incremental slope is worse than
+    # the next one's (LP dominance).
+    hull: list[tuple[float, float, int]] = []
+    for option in frontier:
+        while len(hull) >= 2:
+            c0, p0, _ = hull[-2]
+            c1, p1, _ = hull[-1]
+            c2, p2 = option[0], option[1]
+            # slope from hull[-2] to hull[-1] vs hull[-2] to option
+            if (p0 - p1) * (c2 - c0) <= (p0 - p2) * (c1 - c0):
+                hull.pop()
+            else:
+                break
+        hull.append(option)
+    return hull
+
+
+def solve_greedy(problem: PlacementProblem) -> Solution:
+    """Solve (approximately) with the MCKP LP-greedy heuristic."""
+    t0 = time.perf_counter_ns()
+    num_regions = problem.num_regions
+    num_tiers = problem.num_tiers
+    remaining = (
+        problem.capacity.astype(np.float64).copy()
+        if problem.capacity is not None
+        else None
+    )
+
+    def has_room(tier: int) -> bool:
+        return remaining is None or remaining[tier] < 0 or remaining[tier] > 0
+
+    def take(tier: int) -> None:
+        if remaining is not None and remaining[tier] >= 0:
+            remaining[tier] -= 1
+
+    def give_back(tier: int) -> None:
+        if remaining is not None and remaining[tier] >= 0:
+            remaining[tier] += 1
+
+    options: list[list[tuple[float, float, int]]] = []
+    assignment = np.zeros(num_regions, dtype=np.int64)
+    level = np.zeros(num_regions, dtype=np.int64)  # index into options[r]
+    total_cost = 0.0
+    for r in range(num_regions):
+        opts = _undominated_options(problem.cost[r], problem.penalty[r])
+        # Cheapest option with capacity; fall back to absolute cheapest.
+        start = 0
+        for k, (_, _, tier) in enumerate(opts):
+            if has_room(tier):
+                start = k
+                break
+        options.append(opts)
+        level[r] = start
+        assignment[r] = opts[start][2]
+        take(opts[start][2])
+        total_cost += opts[start][0]
+
+    # Upgrade steps, best slope first (max-heap via negated slopes).
+    heap: list[tuple[float, int]] = []
+
+    def push_candidate(r: int) -> None:
+        k = level[r]
+        opts = options[r]
+        if k + 1 < len(opts):
+            c0, p0, _ = opts[k]
+            c1, p1, _ = opts[k + 1]
+            dc = c1 - c0
+            dp = p0 - p1
+            if dp <= 0:
+                return
+            slope = dp / dc if dc > 0 else float("inf")
+            heapq.heappush(heap, (-slope, r))
+
+    for r in range(num_regions):
+        push_candidate(r)
+
+    while heap:
+        _, r = heapq.heappop(heap)
+        k = level[r]
+        opts = options[r]
+        if k + 1 >= len(opts):
+            continue
+        c0, _, t0_tier = opts[k]
+        c1, _, t1_tier = opts[k + 1]
+        if total_cost - c0 + c1 > problem.budget + 1e-9:
+            continue  # cannot afford this upgrade; try others
+        if t1_tier != t0_tier and not has_room(t1_tier):
+            continue
+        give_back(t0_tier)
+        take(t1_tier)
+        total_cost += c1 - c0
+        level[r] = k + 1
+        assignment[r] = t1_tier
+        push_candidate(r)
+
+    objective, cost = problem.evaluate(assignment)
+    # Feasibility: the budget might be below even the cheapest placement.
+    feasible = cost <= problem.budget + 1e-9
+    return Solution(
+        assignment=assignment,
+        objective=objective,
+        cost=cost,
+        feasible=feasible,
+        backend="greedy",
+        solve_wall_ns=time.perf_counter_ns() - t0,
+        optimal=False,
+    )

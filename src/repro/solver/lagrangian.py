@@ -1,0 +1,106 @@
+"""Lagrangian-relaxation solver for the placement MCKP.
+
+Relaxing the budget constraint with multiplier ``lam`` decomposes the
+problem per region::
+
+    minimize_t  penalty[r, t] + lam * cost[r, t]
+
+which each region solves independently by argmin.  The multiplier is then
+bisected: larger ``lam`` penalizes cost, pushing the aggregate spend
+down; the smallest ``lam`` whose relaxed solution fits the budget yields
+a feasible, provably near-optimal assignment (the duality gap is at most
+one region's swap, the same guarantee class as the greedy heuristic --
+but with O(R x T x log(1/eps)) deterministic work and trivially
+vectorizable inner loops).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.solver.problem import PlacementProblem, Solution
+
+#: Bisection iterations (multiplier resolved to ~2^-60 of its range).
+_ITERATIONS = 60
+
+
+def _relaxed_assignment(problem: PlacementProblem, lam: float) -> np.ndarray:
+    scores = problem.penalty + lam * problem.cost
+    return np.asarray(scores.argmin(axis=1), dtype=np.int64)
+
+
+def solve_lagrangian(problem: PlacementProblem) -> Solution:
+    """Solve via Lagrangian relaxation + multiplier bisection.
+
+    Capacity constraints are not supported (like the DP backend, and like
+    the paper's own ILP, which defers capacity to the migration filter).
+    """
+    if problem.capacity is not None:
+        raise ValueError(
+            "the Lagrangian backend does not support capacity constraints"
+        )
+    t_start = time.perf_counter_ns()
+
+    # lam = 0: pure performance (cost ignored).  If that already fits the
+    # budget, it is optimal.
+    assignment = _relaxed_assignment(problem, 0.0)
+    _, cost = problem.evaluate(assignment)
+    if cost <= problem.budget + 1e-12:
+        objective, cost = problem.evaluate(assignment)
+        return Solution(
+            assignment=assignment,
+            objective=objective,
+            cost=cost,
+            feasible=True,
+            backend="lagrangian",
+            solve_wall_ns=time.perf_counter_ns() - t_start,
+            optimal=True,
+        )
+
+    # Find an upper multiplier that drives the solution within budget.
+    hi = 1.0
+    for _ in range(200):
+        if (
+            problem.evaluate(_relaxed_assignment(problem, hi))[1]
+            <= problem.budget + 1e-12
+        ):
+            break
+        hi *= 4.0
+    else:
+        # Even a huge multiplier cannot fit: budget below min cost.
+        cheapest = np.asarray(problem.cost.argmin(axis=1), dtype=np.int64)
+        objective, total_cost = problem.evaluate(cheapest)
+        return Solution(
+            assignment=cheapest,
+            objective=objective,
+            cost=total_cost,
+            feasible=total_cost <= problem.budget + 1e-9,
+            backend="lagrangian",
+            solve_wall_ns=time.perf_counter_ns() - t_start,
+            optimal=False,
+        )
+
+    lo = 0.0
+    best = _relaxed_assignment(problem, hi)
+    for _ in range(_ITERATIONS):
+        mid = (lo + hi) / 2.0
+        candidate = _relaxed_assignment(problem, mid)
+        _, cost = problem.evaluate(candidate)
+        if cost <= problem.budget + 1e-12:
+            hi = mid
+            best = candidate
+        else:
+            lo = mid
+
+    objective, cost = problem.evaluate(best)
+    return Solution(
+        assignment=best,
+        objective=objective,
+        cost=cost,
+        feasible=cost <= problem.budget + 1e-9,
+        backend="lagrangian",
+        solve_wall_ns=time.perf_counter_ns() - t_start,
+        optimal=False,
+    )

@@ -1,0 +1,44 @@
+"""Backend selection for the placement ILP."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.solver.branch_bound import MAX_REGIONS, solve_branch_bound
+from repro.solver.dp import solve_dp
+from repro.solver.greedy import solve_greedy
+from repro.solver.lagrangian import solve_lagrangian
+from repro.solver.problem import PlacementProblem, Solution
+from repro.solver.scipy_backend import solve_scipy
+
+SOLVERS: dict[str, Callable[[PlacementProblem], Solution]] = {
+    "scipy": solve_scipy,
+    "branch_bound": solve_branch_bound,
+    "greedy": solve_greedy,
+    "dp": solve_dp,
+    "lagrangian": solve_lagrangian,
+}
+
+
+def solve(problem: PlacementProblem, backend: str = "auto") -> Solution:
+    """Solve a placement instance with the chosen backend.
+
+    ``"auto"`` picks branch-and-bound for tiny instances (exact, no scipy
+    dependency in the hot path), scipy/HiGHS for mid-size instances and the
+    greedy heuristic beyond that -- mirroring how the paper runs the ILP
+    locally for simple instances and remotely for heavy ones (§8.4).
+    """
+    if backend == "auto":
+        if problem.num_regions <= min(12, MAX_REGIONS):
+            return solve_branch_bound(problem)
+        if problem.num_regions * problem.num_tiers <= 4096:
+            return solve_scipy(problem)
+        return solve_greedy(problem)
+    try:
+        fn = SOLVERS[backend]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver backend {backend!r}; "
+            f"available: {sorted(SOLVERS)} or 'auto'"
+        ) from None
+    return fn(problem)

@@ -1,0 +1,69 @@
+"""Workload interface.
+
+A workload owns a page-id space of ``num_pages`` pages (it is bound to an
+:class:`~repro.mem.address_space.AddressSpace` of at least that size) and
+produces one access batch per profile window.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.mem.page import PAGE_SIZE, PAGES_PER_REGION
+
+
+class Workload(abc.ABC):
+    """Abstract access-trace generator.
+
+    Attributes:
+        name: Display name used in reports.
+        num_pages: Size of the touched page-id space.
+        ops_per_window: Accesses generated per profile window.
+        write_fraction: Fraction of accesses that are stores.
+    """
+
+    name: str = "workload"
+    write_fraction: float = 0.0
+
+    def __init__(
+        self, num_pages: int, ops_per_window: int, seed: int = 0
+    ) -> None:
+        if num_pages < PAGES_PER_REGION:
+            raise ValueError(
+                f"workloads must span at least one region "
+                f"({PAGES_PER_REGION} pages)"
+            )
+        if ops_per_window < 1:
+            raise ValueError("ops_per_window must be >= 1")
+        self.num_pages = num_pages
+        self.ops_per_window = ops_per_window
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.window = 0
+
+    @property
+    def rss_bytes(self) -> int:
+        """Simulated resident set size."""
+        return self.num_pages * PAGE_SIZE
+
+    def next_window(self) -> np.ndarray:
+        """Generate the next window's access batch (page ids, with repeats)."""
+        batch = self._generate(self._rng)
+        self.window += 1
+        batch = np.asarray(batch, dtype=np.int64)
+        if len(batch) and (batch.min() < 0 or batch.max() >= self.num_pages):
+            raise AssertionError(
+                f"{self.name} generated out-of-range page ids"
+            )
+        return batch
+
+    def reset(self) -> None:
+        """Rewind to window 0 with the original seed."""
+        self._rng = np.random.default_rng(self.seed)
+        self.window = 0
+
+    @abc.abstractmethod
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        """Produce one window's page ids; called by :meth:`next_window`."""

@@ -1,0 +1,99 @@
+"""Co-located applications (paper §9, research direction v).
+
+Production servers pack multiple tenants onto one machine; the paper
+lists multi-tenant support as future work and motivates multiple
+compressed tiers with exactly this scenario (§3.4: "multi-tenant cloud
+systems host diverse workloads with varying compression ratios").
+
+:class:`CompositeWorkload` co-locates any set of workload generators in
+one address space: tenant ``i``'s pages are mapped at a region-aligned
+offset, every window interleaves all tenants' access batches, and the
+per-tenant page ranges are exposed so the harness can report per-tenant
+TCO and placement (see ``repro.bench.experiments.exp_colocation``).
+
+Per-tenant data diversity is preserved: :func:`composite_compressibility`
+concatenates each tenant's compressibility profile so that, e.g., a
+graph tenant's highly compressible pages and a KV tenant's mixed pages
+coexist -- the situation where one fixed zswap algorithm is suboptimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.data import page_compressibilities
+from repro.workloads.base import Workload
+
+
+class CompositeWorkload(Workload):
+    """Several tenant workloads sharing one tiered memory system.
+
+    Args:
+        tenants: The co-located workload generators.  Each already spans a
+            region-aligned number of pages; tenant ``i`` is mapped at the
+            cumulative offset of its predecessors.
+        name: Display name.
+        seed: RNG seed (for interleaving only; tenants keep their own).
+    """
+
+    def __init__(
+        self,
+        tenants: list[Workload],
+        name: str = "colocated",
+        seed: int = 0,
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        self.tenants = list(tenants)
+        self.offsets: list[int] = []
+        total = 0
+        for tenant in self.tenants:
+            self.offsets.append(total)
+            total += tenant.num_pages
+        ops = sum(t.ops_per_window for t in self.tenants)
+        super().__init__(total, ops, seed)
+        self.name = name
+        total_ops = sum(t.ops_per_window for t in self.tenants)
+        self.write_fraction = (
+            sum(t.write_fraction * t.ops_per_window for t in self.tenants)
+            / total_ops
+        )
+
+    def tenant_range(self, index: int) -> tuple[int, int]:
+        """Page-id range ``[start, end)`` of tenant ``index``."""
+        start = self.offsets[index]
+        return start, start + self.tenants[index].num_pages
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        batches = []
+        for tenant, offset in zip(self.tenants, self.offsets):
+            batches.append(tenant.next_window() + offset)
+        combined = np.concatenate(batches)
+        # Interleave: real co-located tenants' accesses are temporally
+        # mixed, which matters for within-window fault ordering.
+        rng.shuffle(combined)
+        return combined
+
+    def reset(self) -> None:
+        super().reset()
+        for tenant in self.tenants:
+            tenant.reset()
+
+
+def composite_compressibility(
+    tenants: list[Workload], profiles: list[str], seed: int = 0
+) -> np.ndarray:
+    """Concatenated per-tenant compressibility for the shared space.
+
+    Args:
+        tenants: The co-located workloads, in mapping order.
+        profiles: One compressibility profile name per tenant.
+        seed: Base RNG seed (tenant index is folded in).
+    """
+    if len(tenants) != len(profiles):
+        raise ValueError("need exactly one profile per tenant")
+    parts = [
+        page_compressibilities(profile, tenant.num_pages, seed=seed + i)
+        for i, (tenant, profile) in enumerate(zip(tenants, profiles))
+    ]
+    return np.concatenate(parts)

@@ -1,0 +1,183 @@
+"""Graph workloads: Ligra-style BFS and PageRank over rMat graphs.
+
+Memory layout mirrors a CSR graph engine:
+
+* a **vertex region** (parent/rank/visited arrays, ``VERTEX_BYTES`` per
+  vertex), and
+* an **edge region** (the CSR target array, ``EDGE_BYTES`` per edge),
+
+laid out back to back in the workload's page space.
+
+Timing realism matters more than traversal micro-detail here: at the
+paper's scale (30 GB graphs) one PageRank iteration or one BFS traversal
+takes far longer than a 5-second profile window, so **each window sees only
+a slice of the computation** -- a contiguous chunk of the edge stream for
+PageRank, a few frontier levels for BFS.  Pages outside the current slice
+idle for many windows (and are what the tiering policies can demote), while
+hub vertices stay hot across all windows thanks to the rMat power-law
+degree distribution.
+
+* :class:`PageRankWorkload` -- a rotating sequential sweep over the edge
+  array plus degree-weighted destination-vertex updates; one full rotation
+  is one pull iteration.
+* :class:`BFSWorkload` -- a *resumable* vectorized BFS: traversal state
+  persists across windows, each window expands frontier levels until the
+  op budget is spent, and a finished traversal restarts from a fresh
+  source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.page import PAGE_SIZE, PAGES_PER_REGION
+from repro.workloads.base import Workload
+from repro.workloads.rmat import rmat_edges, to_csr
+
+VERTEX_BYTES = 64
+EDGE_BYTES = 8
+VERTS_PER_PAGE = PAGE_SIZE // VERTEX_BYTES
+EDGES_PER_PAGE = PAGE_SIZE // EDGE_BYTES
+
+
+def _round_regions(pages: int) -> int:
+    return -(-pages // PAGES_PER_REGION) * PAGES_PER_REGION
+
+
+class _GraphWorkload(Workload):
+    """Shared CSR layout for the graph kernels."""
+
+    def __init__(
+        self,
+        scale: int,
+        edge_factor: int,
+        ops_per_window: int,
+        seed: int,
+    ) -> None:
+        edges = rmat_edges(scale, edge_factor, seed=seed)
+        self.num_vertices = 1 << scale
+        self.offsets, self.targets = to_csr(edges, self.num_vertices)
+        self.num_edges = len(self.targets)
+        vertex_pages = -(-self.num_vertices // VERTS_PER_PAGE)
+        edge_pages = -(-self.num_edges // EDGES_PER_PAGE)
+        self.vertex_base = 0
+        self.edge_base = vertex_pages
+        total = _round_regions(vertex_pages + edge_pages)
+        super().__init__(total, ops_per_window, seed)
+
+    def vertex_page(self, vertices: np.ndarray) -> np.ndarray:
+        """Page ids of the vertex-array entries for ``vertices``."""
+        return self.vertex_base + vertices // VERTS_PER_PAGE
+
+    def edge_page(self, edge_indices: np.ndarray) -> np.ndarray:
+        """Page ids of the CSR target-array entries at ``edge_indices``."""
+        return self.edge_base + edge_indices // EDGES_PER_PAGE
+
+
+class PageRankWorkload(_GraphWorkload):
+    """Streaming pull-PageRank (Ligra PageRank, paper Table 2).
+
+    Each window processes the next contiguous chunk of the edge array --
+    reading the edges and updating the (degree-weighted, hence hub-hot)
+    destination vertices.  The sweep position rotates, so an edge page is
+    touched in a burst once per iteration and idles in between: exactly the
+    *warm* data TierScape compresses for its PageRank TCO wins.
+    """
+
+    name = "pagerank"
+    write_fraction = 0.2
+
+    def __init__(
+        self,
+        scale: int = 16,
+        edge_factor: int = 16,
+        ops_per_window: int = 100_000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(scale, edge_factor, ops_per_window, seed)
+        self.name = f"pagerank-s{scale}"
+        self._sweep_offset = 0
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        chunk = max(1, self.ops_per_window // 2)
+        idx = (self._sweep_offset + np.arange(chunk)) % self.num_edges
+        self._sweep_offset = int((self._sweep_offset + chunk) % self.num_edges)
+        edge_accesses = self.edge_page(idx)
+        vertex_accesses = self.vertex_page(self.targets[idx])
+        return np.concatenate([edge_accesses, vertex_accesses])
+
+
+class BFSWorkload(_GraphWorkload):
+    """Resumable breadth-first traversals.
+
+    Traversal state (visited set, frontier) persists across windows; each
+    window expands whole frontier levels until the op budget is spent.  A
+    completed traversal restarts from a new random source, so over a run
+    the workload sweeps different graph neighbourhoods in different
+    windows while hub adjacency pages recur in most of them.
+    """
+
+    name = "bfs"
+    write_fraction = 0.1
+
+    def __init__(
+        self,
+        scale: int = 16,
+        edge_factor: int = 16,
+        ops_per_window: int = 100_000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(scale, edge_factor, ops_per_window, seed)
+        self.name = f"bfs-s{scale}"
+        self._visited: np.ndarray | None = None
+        self._frontier: np.ndarray | None = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._visited = None
+        self._frontier = None
+
+    def _restart(self, rng: np.random.Generator) -> None:
+        source = int(rng.integers(0, self.num_vertices))
+        self._visited = np.zeros(self.num_vertices, dtype=bool)
+        self._visited[source] = True
+        self._frontier = np.array([source], dtype=np.int64)
+
+    def _frontier_neighbors(self, frontier: np.ndarray) -> np.ndarray:
+        """All CSR edge indices out of the frontier, vectorized."""
+        counts = self.offsets[frontier + 1] - self.offsets[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = np.repeat(self.offsets[frontier], counts)
+        within = np.arange(total) - np.repeat(
+            np.concatenate([[0], np.cumsum(counts)[:-1]]), counts
+        )
+        return starts + within
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        accesses: list[np.ndarray] = []
+        budget = self.ops_per_window
+        spent = 0
+        while spent < budget:
+            if self._frontier is None or len(self._frontier) == 0:
+                self._restart(rng)
+            edge_idx = self._frontier_neighbors(self._frontier)
+            if len(edge_idx) == 0:
+                # Dead-end source; restart next loop iteration.
+                accesses.append(self.vertex_page(self._frontier))
+                spent += len(self._frontier)
+                self._frontier = np.empty(0, dtype=np.int64)
+                continue
+            neighbors = self.targets[edge_idx]
+            accesses.append(self.edge_page(edge_idx))
+            accesses.append(self.vertex_page(neighbors))
+            spent += 2 * len(edge_idx)
+            fresh = np.unique(neighbors[~self._visited[neighbors]])
+            self._visited[fresh] = True
+            self._frontier = fresh
+        trace = np.concatenate(accesses)
+        if len(trace) > budget:
+            keep = rng.integers(0, len(trace), size=budget)
+            trace = trace[keep]
+        return trace

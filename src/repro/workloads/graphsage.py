@@ -1,0 +1,77 @@
+"""GraphSAGE-style minibatch neighbour sampling (paper Table 2).
+
+GraphSAGE training repeatedly samples minibatches of seed nodes, expands a
+bounded number of neighbours per hop, and gathers the node-feature rows of
+every sampled node.  Over an rMat-like power-law graph this makes hub
+features very hot (they appear in most sampled neighbourhoods) while
+low-degree features are touched rarely.  Seeds, by contrast, sweep the
+node space once per *epoch*: each window covers the next contiguous slice
+of the (shuffled) node order, so tail feature pages are touched in bursts
+and idle between epochs -- the ogbn-products profile the paper evaluates,
+scaled down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.page import PAGE_SIZE
+from repro.workloads.base import Workload
+from repro.workloads.rmat import degrees, rmat_edges
+
+#: Feature-row footprint per node (e.g. 100 floats + metadata).
+FEATURE_BYTES = 512
+NODES_PER_PAGE = PAGE_SIZE // FEATURE_BYTES
+
+
+class GraphSAGEWorkload(Workload):
+    """Degree-biased feature gathers plus uniform minibatch seeds.
+
+    Args:
+        scale: ``2**scale`` nodes in the feature table.
+        edge_factor: rMat edges per node (sets the degree skew).
+        ops_per_window: Feature-row accesses per window.
+        fanout_bias: Fraction of accesses that are neighbour expansions
+            (degree-weighted); the rest are uniform seed reads.
+        seed: RNG seed.
+    """
+
+    name = "graphsage"
+    write_fraction = 0.0
+
+    def __init__(
+        self,
+        scale: int = 17,
+        edge_factor: int = 16,
+        ops_per_window: int = 100_000,
+        fanout_bias: float = 0.95,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= fanout_bias <= 1.0:
+            raise ValueError("fanout_bias must be in [0, 1]")
+        self.num_nodes = 1 << scale
+        edges = rmat_edges(scale, edge_factor, seed=seed)
+        # Degree-weighted popularity: a node is gathered whenever an edge
+        # pointing at it is expanded.
+        self._edge_targets = edges[1]
+        self._degrees = degrees(edges, self.num_nodes)
+        num_pages = -(-self.num_nodes // NODES_PER_PAGE)
+        from repro.mem.page import PAGES_PER_REGION
+
+        num_pages = -(-num_pages // PAGES_PER_REGION) * PAGES_PER_REGION
+        super().__init__(num_pages, ops_per_window, seed)
+        self.name = f"graphsage-s{scale}"
+        self.fanout_bias = fanout_bias
+        self._epoch_cursor = 0
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        expansions = int(self.ops_per_window * self.fanout_bias)
+        seeds = self.ops_per_window - expansions
+        sampled_edges = rng.integers(0, len(self._edge_targets), size=expansions)
+        gathered = self._edge_targets[sampled_edges]
+        # Epoch sweep: the next contiguous slice of node ids gets seed
+        # reads; one full rotation is one training epoch.
+        seed_nodes = (self._epoch_cursor + rng.integers(0, max(1, seeds), size=seeds)) % self.num_nodes
+        self._epoch_cursor = (self._epoch_cursor + seeds) % self.num_nodes
+        nodes = np.concatenate([gathered, seed_nodes])
+        return nodes // NODES_PER_PAGE

@@ -1,0 +1,45 @@
+"""masim: the artifact's memory-access microbenchmark.
+
+The TierScape artifact ships ``masim`` to validate the setup: a
+configurable hot/cold access pattern over a flat buffer.  Here it is a
+hotspot distribution applied directly to pages -- the simplest workload,
+used throughout the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+from repro.workloads.distributions import HotspotGenerator
+
+
+class MasimWorkload(Workload):
+    """Hot-set microbenchmark over a flat buffer.
+
+    Args:
+        num_pages: Buffer size in pages.
+        ops_per_window: Accesses per window.
+        hot_fraction: Fraction of pages in the hot set.
+        hot_access_prob: Probability an access hits the hot set.
+        seed: RNG seed.
+    """
+
+    name = "masim"
+    write_fraction = 0.3
+
+    def __init__(
+        self,
+        num_pages: int = 4096,
+        ops_per_window: int = 50_000,
+        hot_fraction: float = 0.1,
+        hot_access_prob: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_pages, ops_per_window, seed)
+        self._dist = HotspotGenerator(
+            num_pages, hot_fraction=hot_fraction, hot_access_prob=hot_access_prob
+        )
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        return self._dist.sample(self.ops_per_window, rng)

@@ -1,0 +1,156 @@
+"""Workload registry reproducing the paper's Table 2.
+
+Each entry records the real benchmark's description and RSS alongside the
+scaled simulation defaults (DESIGN.md §6: every model is linear in region
+count, so the hotness *distribution*, not the absolute footprint, drives
+which policy wins).  ``make_workload(name)`` builds the generator; the
+Table 2 bench target prints this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.compression.data import PROFILES
+from repro.workloads.base import Workload
+from repro.workloads.graph import BFSWorkload, PageRankWorkload
+from repro.workloads.graphsage import GraphSAGEWorkload
+from repro.workloads.kv import KVWorkload
+from repro.workloads.masim import MasimWorkload
+from repro.workloads.xsbench import XSBenchWorkload
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Table 2 row plus simulation scaling.
+
+    Attributes:
+        name: Registry key.
+        description: The paper's Table 2 description.
+        paper_rss_gb: RSS the paper reports.
+        compressibility_profile: Data-compressibility profile for the
+            address space (key of :data:`repro.compression.data.PROFILES`).
+        factory: Builds the workload generator.
+    """
+
+    name: str
+    description: str
+    paper_rss_gb: float
+    compressibility_profile: str
+    factory: Callable[..., Workload]
+
+    def __post_init__(self) -> None:
+        if self.compressibility_profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.compressibility_profile!r}"
+            )
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            name="memcached-ycsb",
+            description=(
+                "A commercial in-memory object caching system, driven by "
+                "YCSB workloadc (Zipfian reads)."
+            ),
+            paper_rss_gb=42.0,
+            compressibility_profile="mixed",
+            factory=KVWorkload.memcached_ycsb,
+        ),
+        WorkloadSpec(
+            name="memcached-memtier",
+            description=(
+                "Memcached driven by memtier_benchmark with a Gaussian "
+                "key pattern and 1 KB objects."
+            ),
+            paper_rss_gb=58.0,
+            compressibility_profile="mixed",
+            factory=KVWorkload.memcached_memtier,
+        ),
+        WorkloadSpec(
+            name="redis-ycsb",
+            description="A commercial in-memory key-value store under YCSB.",
+            paper_rss_gb=90.0,
+            compressibility_profile="mixed",
+            factory=KVWorkload.redis_ycsb,
+        ),
+        WorkloadSpec(
+            name="bfs",
+            description=(
+                "Traverse rMat web-crawler-like graphs with breadth-first "
+                "search (Ligra)."
+            ),
+            paper_rss_gb=30.0,
+            compressibility_profile="nci",
+            factory=BFSWorkload,
+        ),
+        WorkloadSpec(
+            name="pagerank",
+            description=(
+                "Assign ranks to pages based on popularity (Ligra PageRank "
+                "over rMat graphs)."
+            ),
+            paper_rss_gb=30.0,
+            compressibility_profile="nci",
+            factory=PageRankWorkload,
+        ),
+        WorkloadSpec(
+            name="xsbench",
+            description=(
+                "Key computational kernel of the Monte Carlo neutron "
+                "transport algorithm (XL input)."
+            ),
+            paper_rss_gb=119.0,
+            compressibility_profile="dickens",
+            factory=XSBenchWorkload,
+        ),
+        WorkloadSpec(
+            name="graphsage",
+            description=(
+                "Inductive representation learning on large graphs "
+                "(ogbn-products feature gathers)."
+            ),
+            paper_rss_gb=40.0,
+            compressibility_profile="dickens",
+            factory=GraphSAGEWorkload,
+        ),
+        WorkloadSpec(
+            name="masim",
+            description="Artifact microbenchmark: configurable hot/cold sets.",
+            paper_rss_gb=0.0,
+            compressibility_profile="mixed",
+            factory=MasimWorkload,
+        ),
+    )
+}
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        spec = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return spec.factory(**kwargs)
+
+
+def workload_table() -> list[dict]:
+    """Table 2 rows: name, description, paper RSS, simulated RSS."""
+    rows = []
+    for spec in WORKLOADS.values():
+        workload = spec.factory()
+        rows.append(
+            {
+                "workload": spec.name,
+                "description": spec.description,
+                "paper_rss_gb": spec.paper_rss_gb,
+                "sim_rss_mb": workload.rss_bytes / (1 << 20),
+                "profile": spec.compressibility_profile,
+            }
+        )
+    return rows

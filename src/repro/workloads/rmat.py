@@ -1,0 +1,69 @@
+"""rMat (R-MAT / Kronecker) graph generator (paper §8.1's graph inputs).
+
+The standard recursive-matrix generator of Chakrabarti et al.: each edge
+picks one of four quadrants per scale bit with probabilities ``(a, b, c,
+d)``; the defaults are the Graph500/Ligra-style skewed parameters, which
+produce the power-law degree distribution the graph workloads rely on for
+their hot/cold page structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate a directed rMat edge list.
+
+    Args:
+        scale: ``2**scale`` vertices.
+        edge_factor: Edges per vertex.
+        a: Probability of the top-left quadrant (hub-hub edges).
+        b: Top-right quadrant probability.
+        c: Bottom-left quadrant probability; ``d = 1 - a - b - c``.
+        seed: RNG seed.
+
+    Returns:
+        Integer array of shape ``(2, num_edges)``: sources and targets.
+    """
+    if scale < 1 or scale > 30:
+        raise ValueError("scale must be in 1..30")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    rng = np.random.default_rng(seed)
+    num_vertices = 1 << scale
+    num_edges = num_vertices * edge_factor
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(num_edges)
+        # Quadrants in order: (0,0) w.p. a, (0,1) w.p. b, (1,0) w.p. c,
+        # (1,1) w.p. d.
+        right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        down = r >= a + b
+        src |= down.astype(np.int64) << bit
+        dst |= right.astype(np.int64) << bit
+    return np.stack([src, dst])
+
+
+def degrees(edges: np.ndarray, num_vertices: int) -> np.ndarray:
+    """Out-degree per vertex for an edge list from :func:`rmat_edges`."""
+    return np.bincount(edges[0], minlength=num_vertices)
+
+
+def to_csr(edges: np.ndarray, num_vertices: int) -> tuple[np.ndarray, np.ndarray]:
+    """Convert an edge list to CSR (offsets, targets), sorted by source."""
+    order = np.argsort(edges[0], kind="stable")
+    targets = edges[1][order]
+    counts = np.bincount(edges[0], minlength=num_vertices)
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets, targets

@@ -1,0 +1,88 @@
+"""Access-trace recording and replay.
+
+Downstream users often want to (a) capture a workload's access stream
+once and replay it deterministically across many policy runs, or (b)
+bring their *own* traces (e.g. converted from real PEBS dumps) into the
+simulator.  This module provides both directions:
+
+* :func:`record_trace` runs a generator for N windows and saves the
+  per-window page-id batches to a compressed ``.npz`` file,
+* :class:`TraceWorkload` is a :class:`~repro.workloads.base.Workload`
+  that replays such a file window by window (looping if asked for more
+  windows than recorded).
+
+File format: ``numpy.savez_compressed`` with keys ``window_<i>`` plus a
+``meta`` array ``[num_pages, num_windows, write_fraction_milli]``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+def record_trace(workload: Workload, num_windows: int, path) -> Path:
+    """Run ``workload`` for ``num_windows`` windows and save the trace.
+
+    Returns:
+        The path written.
+    """
+    if num_windows < 1:
+        raise ValueError("num_windows must be >= 1")
+    path = Path(path)
+    arrays = {}
+    for w in range(num_windows):
+        arrays[f"window_{w}"] = workload.next_window().astype(np.int64)
+    arrays["meta"] = np.array(
+        [
+            workload.num_pages,
+            num_windows,
+            int(round(workload.write_fraction * 1000)),
+        ],
+        dtype=np.int64,
+    )
+    np.savez_compressed(path, **arrays)
+    # np.savez appends .npz when missing; normalise the returned path.
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+class TraceWorkload(Workload):
+    """Replays a recorded trace file.
+
+    Args:
+        path: ``.npz`` file from :func:`record_trace`.
+        loop: Whether to wrap around after the last recorded window;
+            when False, requesting more windows raises ``IndexError``.
+    """
+
+    def __init__(self, path, loop: bool = True) -> None:
+        path = Path(path)
+        data = np.load(path)
+        if "meta" not in data:
+            raise ValueError(f"{path} is not a recorded trace")
+        num_pages, num_windows, write_milli = data["meta"].tolist()
+        self.name = f"trace:{path.stem}"
+        self.loop = loop
+        self.num_windows = int(num_windows)
+        self._windows = [
+            data[f"window_{w}"] for w in range(self.num_windows)
+        ]
+        ops = max(1, max(len(w) for w in self._windows))
+        super().__init__(int(num_pages), ops)
+        self.write_fraction = write_milli / 1000.0
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        index = self.window
+        if index >= self.num_windows:
+            if not self.loop:
+                raise IndexError(
+                    f"trace has {self.num_windows} windows; "
+                    f"window {index} requested with loop=False"
+                )
+            index %= self.num_windows
+        return self._windows[index]

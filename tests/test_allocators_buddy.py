@@ -1,0 +1,109 @@
+"""Unit and property tests for the binary buddy allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocators.base import AllocationError
+from repro.allocators.buddy import BuddyAllocator
+
+
+def test_requires_power_of_two():
+    with pytest.raises(ValueError):
+        BuddyAllocator(100)
+
+
+def test_single_page_alloc_free():
+    buddy = BuddyAllocator(16)
+    pfn = buddy.alloc(1)
+    assert 0 <= pfn < 16
+    assert buddy.allocated_pages == 1
+    buddy.free(pfn)
+    assert buddy.allocated_pages == 0
+    assert buddy.free_pages == 16
+
+
+def test_rounds_to_power_of_two():
+    buddy = BuddyAllocator(16)
+    buddy.alloc(3)  # rounds to 4
+    assert buddy.allocated_pages == 4
+
+
+def test_exhaustion_raises():
+    buddy = BuddyAllocator(4)
+    buddy.alloc(4)
+    with pytest.raises(AllocationError, match="out of memory"):
+        buddy.alloc(1)
+
+
+def test_oversized_request_raises():
+    buddy = BuddyAllocator(8)
+    with pytest.raises(AllocationError, match="exceeds arena"):
+        buddy.alloc(16)
+
+
+def test_double_free_raises():
+    buddy = BuddyAllocator(8)
+    pfn = buddy.alloc(1)
+    buddy.free(pfn)
+    with pytest.raises(AllocationError):
+        buddy.free(pfn)
+
+
+def test_free_unknown_raises():
+    buddy = BuddyAllocator(8)
+    with pytest.raises(AllocationError):
+        buddy.free(3)
+
+
+def test_coalescing_restores_max_block():
+    buddy = BuddyAllocator(16)
+    pfns = [buddy.alloc(1) for _ in range(16)]
+    for pfn in pfns:
+        buddy.free(pfn)
+    # After freeing everything, the full arena must be allocatable again.
+    assert buddy.alloc(16) == 0
+
+
+def test_distinct_blocks_do_not_overlap():
+    buddy = BuddyAllocator(64)
+    blocks = []
+    for size in (1, 2, 4, 8, 1, 2):
+        pfn = buddy.alloc(size)
+        order = buddy.order_for(size)
+        blocks.append((pfn, pfn + (1 << order)))
+    blocks.sort()
+    for (_, end_a), (start_b, _) in zip(blocks, blocks[1:]):
+        assert end_a <= start_b
+
+
+def test_fragmentation_metric():
+    buddy = BuddyAllocator(16)
+    assert buddy.fragmentation() == 0.0
+    held = [buddy.alloc(1) for _ in range(16)]
+    assert buddy.fragmentation() == 0.0  # nothing free
+    # Free alternating pages: free memory is maximally fragmented.
+    for pfn in held[::2]:
+        buddy.free(pfn)
+    assert buddy.fragmentation() > 0.5
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(1, 8), max_size=40), st.data())
+def test_random_alloc_free_invariants(sizes, data):
+    buddy = BuddyAllocator(256)
+    live: list[int] = []
+    for size in sizes:
+        # Interleave random frees.
+        if live and data.draw(st.booleans()):
+            buddy.free(live.pop(data.draw(st.integers(0, len(live) - 1))))
+        try:
+            live.append(buddy.alloc(size))
+        except AllocationError:
+            pass
+        assert 0 <= buddy.allocated_pages <= 256
+        assert buddy.free_pages + buddy.allocated_pages == 256
+    for pfn in live:
+        buddy.free(pfn)
+    assert buddy.allocated_pages == 0
+    assert buddy.alloc(256) == 0  # fully coalesced

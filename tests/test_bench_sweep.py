@@ -1,0 +1,81 @@
+"""Tests for the sweep/replication harness utilities."""
+
+import pytest
+
+from repro.bench.sweep import replicate, sweep
+
+SMALL = {"num_pages": 1024, "ops_per_window": 4000}
+
+
+class TestSweep:
+    def test_grid_cross_product(self):
+        rows = sweep(
+            {
+                "workload": ["masim"],
+                "policy": ["gswap", "waterfall"],
+                "percentile": [25.0, 75.0],
+                "workload_kwargs": [SMALL],
+            },
+            windows=3,
+        )
+        assert len(rows) == 4
+        configs = {(r["policy"], r["percentile"]) for r in rows}
+        assert configs == {
+            ("gswap", 25.0),
+            ("gswap", 75.0),
+            ("waterfall", 25.0),
+            ("waterfall", 75.0),
+        }
+        for row in rows:
+            assert "tco_savings_pct" in row and "slowdown_pct" in row
+
+    def test_aggressiveness_visible_in_sweep(self):
+        rows = sweep(
+            {
+                "workload": ["masim"],
+                "policy": ["gswap"],
+                "percentile": [25.0, 75.0],
+                "workload_kwargs": [SMALL],
+            },
+            windows=4,
+        )
+        by_pct = {r["percentile"]: r for r in rows}
+        assert by_pct[75.0]["tco_savings_pct"] >= by_pct[25.0]["tco_savings_pct"]
+
+    def test_missing_axes_rejected(self):
+        with pytest.raises(ValueError, match="axes"):
+            sweep({"policy": ["gswap"]})
+
+
+class TestReplicate:
+    def test_mean_and_std(self):
+        row = replicate(
+            "masim",
+            "waterfall",
+            seeds=[0, 1, 2],
+            windows=3,
+            workload_kwargs=SMALL,
+        )
+        assert row["runs"] == 3
+        assert len(row["samples"]["slowdown_pct"]) == 3
+        assert row["slowdown_pct_std"] >= 0
+        assert row["tco_savings_pct_mean"] > 0
+
+    def test_single_seed_zero_std(self):
+        row = replicate(
+            "masim", "gswap", seeds=[7], windows=2, workload_kwargs=SMALL
+        )
+        assert row["slowdown_pct_std"] == 0.0
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate("masim", "gswap", seeds=[])
+
+    def test_deterministic_per_seed(self):
+        a = replicate(
+            "masim", "gswap", seeds=[3], windows=2, workload_kwargs=SMALL
+        )
+        b = replicate(
+            "masim", "gswap", seeds=[3], windows=2, workload_kwargs=SMALL
+        )
+        assert a["samples"] == b["samples"]

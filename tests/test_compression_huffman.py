@@ -1,0 +1,198 @@
+"""Tests for bit I/O, canonical Huffman, the from-scratch deflate and the
+entropy estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.data import make_corpus
+from repro.compression.deflate import DeflateCodec
+from repro.compression.deflate_scratch import DeflateScratchCodec
+from repro.compression.entropy import (
+    estimate_ratio,
+    is_compressible,
+    shannon_entropy,
+)
+from repro.compression.huffman import (
+    MAX_CODE_LENGTH,
+    CanonicalDecoder,
+    HuffmanCodec,
+    canonical_codes,
+    code_lengths,
+)
+
+
+class TestBitIO:
+    def test_roundtrip_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.write_bits(0xFF, 8)
+        writer.write_bits(0, 5)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(3) == 0b101
+        assert reader.read_bits(8) == 0xFF
+        assert reader.read_bits(5) == 0
+
+    def test_bit_length(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        writer.write_bits(3, 2)
+        assert writer.bit_length == 3
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(4, 2)
+
+    def test_read_past_end(self):
+        reader = BitReader(b"\x01")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16))))
+    def test_roundtrip_property(self, fields):
+        writer = BitWriter()
+        expected = []
+        for value, width in fields:
+            value &= (1 << width) - 1
+            writer.write_bits(value, width)
+            expected.append((value, width))
+        reader = BitReader(writer.getvalue())
+        for value, width in expected:
+            assert reader.read_bits(width) == value
+
+
+class TestCodeLengths:
+    def test_single_symbol(self):
+        assert code_lengths({65: 10}) == {65: 1}
+
+    def test_skewed_frequencies_short_code_for_common(self):
+        lengths = code_lengths({0: 1000, 1: 10, 2: 10, 3: 1})
+        assert lengths[0] < lengths[3]
+
+    def test_kraft_inequality_holds(self):
+        lengths = code_lengths({i: i + 1 for i in range(64)})
+        assert sum(2.0 ** -l for l in lengths.values()) <= 1.0 + 1e-12
+
+    def test_length_cap(self):
+        # Fibonacci-like frequencies force deep trees.
+        fib = [1, 1]
+        while len(fib) < 30:
+            fib.append(fib[-1] + fib[-2])
+        lengths = code_lengths({i: f for i, f in enumerate(fib)})
+        assert max(lengths.values()) <= MAX_CODE_LENGTH
+        assert sum(2.0 ** -l for l in lengths.values()) <= 1.0 + 1e-12
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            code_lengths({0: 0})
+
+
+class TestCanonicalCodes:
+    def test_rfc_example_structure(self):
+        # Lengths (2, 1, 3, 3) -> canonical codes are prefix-free.
+        codes = canonical_codes({0: 2, 1: 1, 2: 3, 3: 3})
+        assert codes[1] == (0, 1)  # the shortest code is all zeros
+        bits = {f"{c:0{l}b}" for c, l in codes.values()}
+        for a in bits:
+            for b in bits:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_decoder_inverts(self):
+        lengths = code_lengths({i: 10 - i for i in range(8)})
+        codes = canonical_codes(lengths)
+        from repro.compression.bitio import BitWriter
+        from repro.compression.huffman import _reverse_bits
+
+        writer = BitWriter()
+        message = [0, 5, 3, 7, 0, 0, 2]
+        for s in message:
+            code, length = codes[s]
+            writer.write_bits(_reverse_bits(code, length), length)
+        reader = BitReader(writer.getvalue())
+        decoder = CanonicalDecoder(lengths)
+        assert [decoder.decode(reader) for _ in message] == message
+
+
+class TestHuffmanCodec:
+    codec = HuffmanCodec()
+
+    def test_empty(self):
+        assert self.codec.decompress(self.codec.compress(b"")) == b""
+
+    def test_roundtrip_text(self):
+        data = b"abracadabra" * 50
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+    def test_compresses_skewed_data(self):
+        data = b"a" * 900 + b"b" * 90 + b"c" * 10
+        blob = self.codec.compress(data)
+        assert len(blob) < len(data) // 2
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=1024))
+    def test_roundtrip_property(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+
+class TestDeflateScratch:
+    codec = DeflateScratchCodec()
+
+    def test_empty(self):
+        assert self.codec.decompress(self.codec.compress(b"")) == b""
+
+    def test_roundtrip_corpora(self):
+        for kind in ("nci", "dickens", "random"):
+            data = make_corpus(kind, 8192, seed=3)
+            assert self.codec.decompress(self.codec.compress(data)) == data
+
+    def test_beats_plain_huffman_on_text(self):
+        data = make_corpus("dickens", 16384, seed=1)
+        two_stage = len(self.codec.compress(data))
+        entropy_only = len(HuffmanCodec().compress(data))
+        assert two_stage < entropy_only
+
+    def test_within_reach_of_zlib(self):
+        """From-scratch two-stage coding lands within ~2.5x of zlib-9."""
+        data = make_corpus("dickens", 16384, seed=2)
+        ours = len(self.codec.compress(data))
+        zlib9 = len(DeflateCodec(level=9).compress(data))
+        assert ours < 2.5 * zlib9
+
+    def test_truncated_stream_detected(self):
+        blob = self.codec.compress(b"hello world, hello world")
+        with pytest.raises((ValueError, EOFError)):
+            self.codec.decompress(blob[: len(blob) // 2])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=2048))
+    def test_roundtrip_property(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+
+class TestEntropy:
+    def test_constant_data_zero_entropy(self):
+        assert shannon_entropy(b"\x00" * 1000) == 0.0
+
+    def test_uniform_data_eight_bits(self):
+        data = bytes(range(256)) * 4
+        assert shannon_entropy(data) == pytest.approx(8.0)
+
+    def test_estimate_orders_corpora(self):
+        estimates = {
+            kind: estimate_ratio(make_corpus(kind, 1 << 14, seed=4))
+            for kind in ("nci", "dickens", "random")
+        }
+        assert estimates["nci"] < estimates["dickens"] < estimates["random"]
+        assert estimates["random"] > 0.9
+
+    def test_is_compressible(self):
+        assert is_compressible(make_corpus("dickens", 4096, seed=5))
+        assert not is_compressible(make_corpus("random", 4096, seed=5))
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(b"abc", sample_stride=0)

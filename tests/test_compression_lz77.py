@@ -1,0 +1,103 @@
+"""Unit tests for the from-scratch LZ77 codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.lz77 import MAX_MATCH, MIN_MATCH, WINDOW, LZ77Codec
+
+codec = LZ77Codec()
+
+
+def roundtrip(data: bytes, **kwargs) -> bytes:
+    c = LZ77Codec(**kwargs) if kwargs else codec
+    return c.decompress(c.compress(data))
+
+
+def test_empty():
+    assert roundtrip(b"") == b""
+
+
+def test_short_literals():
+    assert roundtrip(b"ab") == b"ab"
+
+
+def test_repetitive_compresses_well():
+    data = b"abcabcabc" * 100
+    blob = codec.compress(data)
+    assert codec.decompress(blob) == data
+    assert len(blob) < len(data) // 3
+
+
+def test_self_overlapping_match():
+    # A run is encoded as a match with offset 1 overlapping itself.
+    data = b"A" + b"A" * 300
+    assert roundtrip(data) == data
+
+
+def test_match_length_cap():
+    # Matches longer than MAX_MATCH are split into several tokens.
+    data = b"x" * (MAX_MATCH * 3 + 7)
+    assert roundtrip(data) == data
+
+
+def test_window_boundary():
+    # A repeat farther back than WINDOW cannot be matched but must still
+    # round-trip as literals.
+    unique = bytes((i * 37 + 11) % 256 for i in range(WINDOW + 100))
+    data = unique[:200] + unique + unique[:200]
+    assert roundtrip(data) == data
+
+
+def test_random_data_roundtrip():
+    import numpy as np
+
+    data = np.random.default_rng(3).integers(0, 256, 5000, dtype=np.uint8).tobytes()
+    assert roundtrip(data) == data
+
+
+def test_lazy_vs_greedy_both_roundtrip():
+    data = b"the quick brown fox jumps over the lazy dog " * 50
+    for lazy in (True, False):
+        assert roundtrip(data, lazy=lazy) == data
+
+
+def test_longer_chain_compresses_at_least_as_well():
+    data = (b"abcdefgh" * 64 + b"abcdXfgh" * 64) * 8
+    small = LZ77Codec(max_chain=2, lazy=False).compress(data)
+    large = LZ77Codec(max_chain=256, lazy=False).compress(data)
+    assert len(large) <= len(small)
+
+
+def test_invalid_chain():
+    with pytest.raises(ValueError):
+        LZ77Codec(max_chain=0)
+
+
+def test_truncated_match_token_raises():
+    with pytest.raises(ValueError):
+        codec.decompress(bytes([0b1, 0x00]))  # match flagged, 1 byte body
+
+
+def test_offset_out_of_range_raises():
+    # flags=1 (match), offset word pointing before start of output.
+    blob = bytes([0b1, 0xFF, 0xF0])
+    with pytest.raises(ValueError):
+        codec.decompress(blob)
+
+
+def test_min_match_constant_sane():
+    assert 3 <= MIN_MATCH < MAX_MATCH
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(max_size=1500))
+def test_roundtrip_property(data):
+    assert roundtrip(data) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=1, max_size=64), st.integers(2, 50))
+def test_repeated_block_property(block, reps):
+    data = block * reps
+    assert roundtrip(data) == data

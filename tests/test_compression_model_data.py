@@ -1,0 +1,183 @@
+"""Tests for the analytic algorithm models and the synthetic corpora."""
+
+import numpy as np
+import pytest
+
+from repro.compression.base import CompressionResult
+from repro.compression.data import PROFILES, make_corpus, page_compressibilities
+from repro.compression.deflate import DeflateCodec
+from repro.compression.model import AlgorithmModel, achieved_ratio
+from repro.compression.registry import (
+    ALGORITHMS,
+    algorithm,
+    algorithm_names,
+    reference_codec,
+)
+from repro.mem.page import PAGE_SIZE
+
+
+class TestAchievedRatio:
+    def test_reference_strength_identity(self):
+        assert achieved_ratio(0.4, 1.0) == pytest.approx(0.4)
+
+    def test_weaker_algorithm_worse_ratio(self):
+        assert achieved_ratio(0.3, 0.5) > achieved_ratio(0.3, 0.9)
+
+    def test_clamped_to_one(self):
+        assert achieved_ratio(1.0, 0.5) == 1.0
+
+    def test_floor(self):
+        assert achieved_ratio(0.02, 1.0, floor=0.05) == 0.05
+
+    def test_monotone_in_intrinsic(self):
+        ratios = [achieved_ratio(c, 0.6) for c in (0.1, 0.3, 0.5, 0.9)]
+        assert ratios == sorted(ratios)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_bad_intrinsic(self, bad):
+        with pytest.raises(ValueError):
+            achieved_ratio(bad, 0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5])
+    def test_bad_strength(self, bad):
+        with pytest.raises(ValueError):
+            achieved_ratio(0.5, bad)
+
+
+class TestAlgorithmModel:
+    def test_compressed_size(self):
+        model = AlgorithmModel("t", 1.0, 1000, 500)
+        assert model.compressed_size(0.5) == PAGE_SIZE // 2
+
+    def test_latencies_scale_with_pages(self):
+        model = algorithm("lz4")
+        assert model.compress_ns(3) == 3 * model.compress_ns(1)
+        assert model.decompress_ns(2) == 2 * model.decompress_ns(1)
+
+
+class TestRegistry:
+    def test_all_seven_table1_algorithms(self):
+        table1 = {
+            "lz4",
+            "lzo",
+            "lzo-rle",
+            "lz4hc",
+            "zstd",
+            "842",
+            "deflate",
+        }
+        assert table1 <= set(ALGORITHMS)
+        # Plus the hardware-offload extension the artifact kernel toggles.
+        assert set(ALGORITHMS) - table1 == {"iaa-deflate"}
+
+    def test_iaa_collapses_the_tradeoff(self):
+        """IAA-offloaded deflate: deflate's ratio at lz4-class latency."""
+        iaa = ALGORITHMS["iaa-deflate"]
+        assert iaa.strength == ALGORITHMS["deflate"].strength
+        assert iaa.decompress_ns_per_page < ALGORITHMS["lzo"].decompress_ns_per_page * 2
+        assert iaa.compress_ns_per_page < ALGORITHMS["lz4"].compress_ns_per_page
+
+    def test_paper_latency_ordering(self):
+        """Figure 2a: lz4 fastest, then lzo, deflate slowest."""
+        lz4 = algorithm("lz4").decompress_ns_per_page
+        lzo = algorithm("lzo").decompress_ns_per_page
+        deflate = algorithm("deflate").decompress_ns_per_page
+        assert lz4 < lzo < deflate
+
+    def test_paper_ratio_ordering(self):
+        """Figure 2b: deflate achieves the best (smallest) ratio."""
+        intrinsic = 0.3
+        ratios = {n: m.ratio(intrinsic) for n, m in ALGORITHMS.items()}
+        assert ratios["deflate"] == min(ratios.values())
+        assert ratios["lz4"] > ratios["lz4hc"] > ratios["deflate"]
+
+    def test_names_sorted_by_strength(self):
+        names = algorithm_names()
+        strengths = [ALGORITHMS[n].strength for n in names]
+        assert strengths == sorted(strengths)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="available"):
+            algorithm("snappy")
+
+    def test_reference_codecs_roundtrip(self):
+        data = make_corpus("dickens", 8192, seed=1)
+        for name in ALGORITHMS:
+            codec = reference_codec(name)
+            result = codec.measure(data)
+            assert isinstance(result, CompressionResult)
+
+    def test_reference_codec_ratio_ordering_matches_model(self):
+        """The real codecs must agree with the analytic strength ordering
+        on text: deflate < lz4hc-like < lz4-like ratios."""
+        data = make_corpus("dickens", 16384, seed=2)
+        measured = {
+            name: reference_codec(name).measure(data).ratio
+            for name in ("lz4", "lz4hc", "deflate")
+        }
+        assert measured["deflate"] < measured["lz4hc"] < measured["lz4"]
+
+
+class TestCorpora:
+    def test_sizes(self):
+        for kind in ("nci", "dickens", "random"):
+            assert len(make_corpus(kind, 10000, seed=0)) == 10000
+
+    def test_determinism(self):
+        assert make_corpus("nci", 5000, seed=4) == make_corpus("nci", 5000, seed=4)
+
+    def test_seeds_differ(self):
+        assert make_corpus("nci", 5000, seed=1) != make_corpus("nci", 5000, seed=2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_corpus("mozilla", 100)
+
+    def test_compressibility_ordering(self):
+        """nci-like must compress much better than dickens-like, which
+        must compress much better than random (the Figure 2 premise)."""
+        deflate = DeflateCodec(level=9)
+        ratios = {}
+        for kind in ("nci", "dickens", "random"):
+            data = make_corpus(kind, 1 << 16, seed=3)
+            ratios[kind] = len(deflate.compress(data)) / len(data)
+        assert ratios["nci"] < 0.2
+        assert 0.2 < ratios["dickens"] < 0.7
+        assert ratios["random"] > 0.9
+
+
+class TestPageCompressibilities:
+    def test_shape_and_range(self):
+        values = page_compressibilities("mixed", 1000, seed=0)
+        assert values.shape == (1000,)
+        assert (values > 0).all() and (values <= 1).all()
+
+    def test_profiles_ordered(self):
+        means = {
+            p: page_compressibilities(p, 5000, seed=0).mean()
+            for p in ("nci", "dickens", "random")
+        }
+        assert means["nci"] < means["dickens"] < means["random"]
+
+    def test_all_profiles_exist(self):
+        for profile in PROFILES:
+            page_compressibilities(profile, 10)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="choose from"):
+            page_compressibilities("webserver", 10)
+
+    def test_anchored_to_corpora(self):
+        """Profile means should sit near what deflate-9 achieves on the
+        matching synthetic corpus (within a loose factor)."""
+        deflate = DeflateCodec(level=9)
+        for kind in ("nci", "dickens"):
+            data = make_corpus(kind, 1 << 16, seed=5)
+            per_page = []
+            for start in range(0, len(data), PAGE_SIZE):
+                page = data[start : start + PAGE_SIZE]
+                if len(page) == PAGE_SIZE:
+                    per_page.append(len(deflate.compress(page)) / PAGE_SIZE)
+            corpus_mean = float(np.mean(per_page))
+            profile_mean = float(page_compressibilities(kind, 5000, 0).mean())
+            assert 0.3 < profile_mean / corpus_mean < 3.0

@@ -1,0 +1,96 @@
+"""Unit tests for the run-length codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.rle import MAX_LITERAL, MAX_RUN, MIN_RUN, RLECodec
+
+codec = RLECodec()
+
+
+def roundtrip(data: bytes) -> bytes:
+    return codec.decompress(codec.compress(data))
+
+
+def test_empty_roundtrip():
+    assert roundtrip(b"") == b""
+
+
+def test_single_byte():
+    assert roundtrip(b"x") == b"x"
+
+
+def test_long_run_compresses():
+    data = b"\x00" * 4096
+    blob = codec.compress(data)
+    assert codec.decompress(blob) == data
+    # 4096 zeros need at most ceil(4096 / MAX_RUN) two-byte chunks.
+    assert len(blob) <= 2 * (-(-4096 // MAX_RUN))
+
+
+def test_incompressible_expands_bounded():
+    data = bytes(range(256)) * 4
+    blob = codec.compress(data)
+    assert codec.decompress(blob) == data
+    # Worst case adds one control byte per MAX_LITERAL literals.
+    assert len(blob) <= len(data) + -(-len(data) // MAX_LITERAL)
+
+
+def test_run_below_threshold_kept_literal():
+    data = b"aabb"  # runs of 2 < MIN_RUN
+    blob = codec.compress(data)
+    assert blob[0] < 0x80  # literal block control byte
+    assert codec.decompress(blob) == data
+
+
+def test_run_at_threshold_encoded_as_run():
+    data = b"a" * MIN_RUN
+    blob = codec.compress(data)
+    assert blob[0] >= 0x80
+    assert codec.decompress(blob) == data
+
+
+def test_mixed_runs_and_literals():
+    data = b"abc" + b"x" * 50 + b"de" + b"\xff" * 200 + b"tail"
+    assert roundtrip(data) == data
+
+
+def test_max_run_boundary():
+    for n in (MAX_RUN - 1, MAX_RUN, MAX_RUN + 1, 2 * MAX_RUN + 5):
+        data = b"q" * n
+        assert roundtrip(data) == data
+
+
+def test_truncated_literal_block_raises():
+    with pytest.raises(ValueError):
+        codec.decompress(bytes([5]))  # promises 6 literals, provides none
+
+
+def test_truncated_run_raises():
+    with pytest.raises(ValueError):
+        codec.decompress(bytes([0x80]))  # run chunk missing its byte
+
+
+def test_measure_roundtrip_check():
+    result = codec.measure(b"aaaa" * 100)
+    assert result.original_size == 400
+    assert result.compressed_size < 400
+    assert result.ratio < 1.0
+    assert result.space_savings > 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=2048))
+def test_roundtrip_property(data):
+    assert roundtrip(data) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 255), st.integers(1, 1000))
+def test_pure_run_property(byte, length):
+    data = bytes([byte]) * length
+    blob = codec.compress(data)
+    assert codec.decompress(blob) == data
+    if length >= MIN_RUN:
+        assert len(blob) < max(4, length)

@@ -1,0 +1,89 @@
+"""Tests for the declarative experiment configuration."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.workload == "memcached-ycsb"
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            ExperimentConfig(workload="spark")
+
+    def test_unknown_mix(self):
+        with pytest.raises(ValueError, match="mix"):
+            ExperimentConfig(mix="hybrid")
+
+    def test_unknown_telemetry(self):
+        with pytest.raises(ValueError, match="telemetry"):
+            ExperimentConfig(telemetry="ebpf")
+
+    def test_bad_windows(self):
+        with pytest.raises(ValueError, match="windows"):
+            ExperimentConfig(windows=0)
+
+
+class TestTag:
+    def test_ilp_tag(self):
+        config = ExperimentConfig(policy="am", alpha=0.9, windows=5)
+        assert config.tag == "ILP-F100-A0.9-PT2-W5"
+
+    def test_threshold_tag(self):
+        config = ExperimentConfig(policy="hemem", percentile=75.0, windows=8)
+        assert config.tag == "HeMem-F100-HT75-PT2-W8"
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        config = ExperimentConfig(
+            workload="masim",
+            policy="waterfall",
+            windows=3,
+            prefetch_degree=4,
+            workload_kwargs={"num_pages": 1024},
+        )
+        restored = ExperimentConfig.from_json(config.to_json())
+        assert restored == config
+
+    def test_file_roundtrip(self, tmp_path):
+        config = ExperimentConfig(workload="masim", windows=2)
+        path = config.save(tmp_path / "run.json")
+        assert ExperimentConfig.load(path) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown config keys"):
+            ExperimentConfig.from_json('{"workload": "masim", "gpu": true}')
+
+
+class TestRun:
+    def test_run_executes(self):
+        config = ExperimentConfig(
+            workload="masim",
+            policy="waterfall",
+            windows=3,
+            workload_kwargs={"num_pages": 1024, "ops_per_window": 4000},
+        )
+        summary = config.run()
+        assert summary.windows == 3
+        assert summary.policy == "Waterfall"
+
+    def test_run_with_telemetry_and_prefetch(self):
+        config = ExperimentConfig(
+            workload="masim",
+            policy="tmo",
+            percentile=75.0,
+            telemetry="idlebit",
+            prefetch_degree=4,
+            windows=3,
+            workload_kwargs={"num_pages": 1024, "ops_per_window": 4000},
+        )
+        summary, daemon = config.run(return_daemon=True)
+        assert daemon.prefetcher is not None
+        from repro.telemetry import IdleBitProfiler
+
+        assert isinstance(daemon.profiler, IdleBitProfiler)
+        assert summary.windows == 3

@@ -1,0 +1,101 @@
+"""Tests for media specs, page/region constants and the address space."""
+
+import numpy as np
+import pytest
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.media import CXL, DRAM, MEDIA, NVMM, media
+from repro.mem.page import (
+    PAGE_SIZE,
+    PAGES_PER_REGION,
+    REGION_SIZE,
+    page_to_region,
+    region_page_range,
+)
+from repro.mem.region import Region, RegionSet
+
+
+class TestMedia:
+    def test_constants(self):
+        assert PAGE_SIZE == 4096
+        assert REGION_SIZE == 2 * 1024 * 1024
+        assert PAGES_PER_REGION == 512
+
+    def test_dram_is_cost_unit(self):
+        assert DRAM.cost_per_gb == 1.0
+        assert DRAM.cost_per_page == pytest.approx(4096 / (1 << 30))
+
+    def test_paper_cost_ordering(self):
+        """§8.1: NVMM is 1/3 of DRAM per GB; CXL sits between."""
+        assert NVMM.cost_per_gb == pytest.approx(1 / 3)
+        assert NVMM.cost_per_gb < CXL.cost_per_gb < DRAM.cost_per_gb
+
+    def test_latency_ordering(self):
+        assert DRAM.read_ns < CXL.read_ns < NVMM.read_ns
+
+    def test_lookup(self):
+        assert media("dram") is DRAM
+        assert media("NVMM") is NVMM
+        with pytest.raises(KeyError):
+            media("HBM")
+
+    def test_registry_complete(self):
+        assert set(MEDIA) == {"DRAM", "NVMM", "CXL"}
+
+
+class TestPageHelpers:
+    def test_page_to_region(self):
+        assert page_to_region(0) == 0
+        assert page_to_region(511) == 0
+        assert page_to_region(512) == 1
+
+    def test_region_page_range(self):
+        r = region_page_range(2)
+        assert r.start == 1024 and r.stop == 1536
+
+
+class TestRegionSet:
+    def test_for_pages(self):
+        rs = RegionSet.for_pages(1024)
+        assert len(rs) == 2
+        assert rs[1].start_page == 512
+        assert list(rs[0].pages()) == list(range(512))
+
+    def test_rejects_partial_region(self):
+        with pytest.raises(ValueError):
+            RegionSet.for_pages(1000)
+
+    def test_region_defaults(self):
+        region = Region(region_id=3)
+        assert region.assigned_tier == 0
+        assert region.hotness == 0.0
+        assert region.end_page - region.start_page == PAGES_PER_REGION
+
+
+class TestAddressSpace:
+    def test_basic(self):
+        space = AddressSpace(1024, "mixed", seed=1)
+        assert space.num_regions == 2
+        assert space.size_bytes == 1024 * PAGE_SIZE
+        assert space.compressibility.shape == (1024,)
+
+    def test_minimum_one_region(self):
+        with pytest.raises(ValueError):
+            AddressSpace(100)
+
+    def test_with_size_rounds_up(self):
+        space = AddressSpace.with_size(3 * 1024 * 1024)  # 3 MB -> 2 regions
+        assert space.num_regions == 2
+
+    def test_region_compressibility_is_mean(self):
+        space = AddressSpace(1024, "mixed", seed=2)
+        per_region = space.region_compressibility()
+        assert per_region.shape == (2,)
+        assert per_region[0] == pytest.approx(
+            float(np.mean(space.compressibility[:512]))
+        )
+
+    def test_profile_affects_values(self):
+        nci = AddressSpace(512, "nci", seed=3).compressibility.mean()
+        rand = AddressSpace(512, "random", seed=3).compressibility.mean()
+        assert nci < 0.3 < rand

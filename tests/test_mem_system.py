@@ -1,0 +1,242 @@
+"""Tests for the tiered memory system: access path, faults, migration."""
+
+import numpy as np
+import pytest
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.media import DRAM
+from repro.mem.page import PAGES_PER_REGION
+from repro.mem.system import TieredMemorySystem
+from repro.mem.tier import ByteAddressableTier
+
+from tests.conftest import make_tiers
+
+
+def fresh_system(num_regions=4, profile="mixed", seed=7):
+    space = AddressSpace(num_regions * PAGES_PER_REGION, profile, seed=seed)
+    return TieredMemorySystem(make_tiers(space), space)
+
+
+class TestConstruction:
+    def test_all_pages_start_in_dram(self):
+        system = fresh_system()
+        counts = system.placement_counts()
+        assert counts[0] == system.space.num_pages
+        assert counts[1:].sum() == 0
+
+    def test_tier0_must_be_byte(self, space):
+        from repro.allocators import ZsmallocAllocator
+        from repro.compression.registry import algorithm
+        from repro.mem.tier import CompressedTier
+
+        ct = CompressedTier(
+            "CT", algorithm("lzo"), ZsmallocAllocator(1 << 12), DRAM, 4096
+        )
+        with pytest.raises(ValueError, match="byte-addressable"):
+            TieredMemorySystem([ct], space)
+
+    def test_tier0_must_hold_everything(self, space):
+        small = ByteAddressableTier("DRAM", DRAM, capacity_pages=10)
+        with pytest.raises(ValueError, match="whole address space"):
+            TieredMemorySystem([small], space)
+
+    def test_duplicate_names_rejected(self, space):
+        n = space.num_pages
+        tiers = [
+            ByteAddressableTier("DRAM", DRAM, capacity_pages=n),
+            ByteAddressableTier("DRAM", DRAM, capacity_pages=n),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            TieredMemorySystem(tiers, space)
+
+    def test_tier_index(self):
+        system = fresh_system()
+        assert system.tier_index("CT") == 2
+        with pytest.raises(KeyError):
+            system.tier_index("HBM")
+
+
+class TestAccessPath:
+    def test_dram_access_cost(self):
+        system = fresh_system()
+        result = system.access_batch(np.array([0, 1, 2, 0]))
+        assert result.accesses == 4
+        assert result.faults == 0
+        assert result.access_ns == pytest.approx(4 * DRAM.read_ns)
+        assert system.clock.optimal_ns == result.access_ns
+        assert system.clock.slowdown == 0.0
+
+    def test_empty_batch(self):
+        system = fresh_system()
+        result = system.access_batch(np.array([], dtype=np.int64))
+        assert result.accesses == 0
+
+    def test_nvmm_access_slower(self):
+        system = fresh_system()
+        system.move_page(0, 1)
+        result = system.access_batch(np.array([0]))
+        assert result.access_ns > DRAM.read_ns
+        assert result.faults == 0
+
+    def test_compressed_access_faults_and_promotes(self):
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        system.move_page(0, ct_idx)
+        assert system.page_location[0] == ct_idx
+        result = system.access_batch(np.array([0, 0, 0]))
+        assert result.faults == 1
+        assert system.page_location[0] == 0  # promoted to DRAM
+        assert system.tiers[ct_idx].stats.faults == 1
+        # First access pays the fault; the other two pay DRAM latency.
+        assert result.access_ns > 2 * DRAM.read_ns + 1000
+
+    def test_fault_latency_histogram(self):
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        system.move_page(0, ct_idx)
+        result = system.access_batch(np.array([0, 1]))
+        latencies = sorted(lat for lat, _ in result.latency_histogram)
+        assert latencies[0] == pytest.approx(DRAM.read_ns)
+        assert latencies[-1] > 1000  # the fault
+
+    def test_recency_tracking(self):
+        system = fresh_system()
+        system.advance_window()
+        system.access_batch(np.array([5]))
+        assert system.last_access_window[5] == 1
+        assert system.last_access_window[6] < 0
+
+
+class TestMigration:
+    def test_move_page_byte_to_byte(self):
+        system = fresh_system()
+        ns = system.move_page(0, 1)
+        assert ns > 0
+        assert system.page_location[0] == 1
+        assert system.tiers[0].used_pages == system.space.num_pages - 1
+        assert system.tiers[1].used_pages == 1
+
+    def test_move_page_noop(self):
+        system = fresh_system()
+        assert system.move_page(0, 0) == 0.0
+
+    def test_move_into_compressed_charges_compression(self):
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        ns = system.move_page(0, ct_idx)
+        assert ns > system.tiers[ct_idx].algorithm.compress_ns()
+        assert system.clock.migration_ns == ns
+
+    def test_compressed_to_compressed_decompresses_then_recompresses(self):
+        """Paper §7.1: the naive migration path."""
+        space = AddressSpace(2 * PAGES_PER_REGION, "nci", seed=1)
+        tiers = make_tiers(space)
+        from repro.allocators import ZbudAllocator
+        from repro.compression.registry import algorithm
+        from repro.mem.tier import CompressedTier
+
+        tiers.append(
+            CompressedTier(
+                "CT2",
+                algorithm("deflate"),
+                ZbudAllocator(1 << 12),
+                DRAM,
+                capacity_pages=space.num_pages,
+            )
+        )
+        system = TieredMemorySystem(tiers, space)
+        ct1, ct2 = system.tier_index("CT"), system.tier_index("CT2")
+        system.move_page(0, ct1)
+        ns = system.move_page(0, ct2)
+        both = (
+            system.tiers[ct1].algorithm.decompress_ns()
+            + system.tiers[ct2].algorithm.compress_ns()
+        )
+        assert ns > both
+        assert system.tiers[ct2].contains(0)
+        assert not system.tiers[ct1].contains(0)
+
+    def test_incompressible_page_redirected(self):
+        space = AddressSpace(PAGES_PER_REGION, "random", seed=2)
+        system = TieredMemorySystem(make_tiers(space), space)
+        ct_idx = system.tier_index("CT")
+        # Find a page the tier would reject.
+        rejects = [
+            pid
+            for pid in range(space.num_pages)
+            if not system.tiers[ct_idx].accepts(float(space.compressibility[pid]))
+        ]
+        assert rejects, "random profile should have incompressible pages"
+        pid = rejects[0]
+        system.move_page(pid, ct_idx)
+        assert system.page_location[pid] == 0  # stayed byte-addressable
+
+    def test_move_region_moves_all_idle_pages(self):
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        system.move_region(0, ct_idx)
+        region = system.space.regions[0]
+        assert region.assigned_tier == ct_idx
+        locations = system.page_location[:PAGES_PER_REGION]
+        # Compressible pages moved; rejected ones stayed in DRAM.
+        assert (locations == ct_idx).sum() > 0
+
+    def test_move_region_recency_skip(self):
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        system.advance_window()
+        touched = np.arange(0, 100)
+        system.access_batch(touched)
+        system.move_region(0, ct_idx, recency_windows=1)
+        assert (system.page_location[:100] == 0).all()  # recent pages stayed
+        assert (system.page_location[100:PAGES_PER_REGION] == ct_idx).sum() > 0
+
+    def test_recency_skip_not_applied_to_byte_tiers(self):
+        system = fresh_system()
+        system.advance_window()
+        system.access_batch(np.arange(0, 100))
+        system.move_region(0, 1, recency_windows=1)
+        assert (system.page_location[:PAGES_PER_REGION] == 1).all()
+
+
+class TestTCO:
+    def test_all_dram_is_max(self):
+        system = fresh_system()
+        assert system.tco() == pytest.approx(system.tco_max())
+        assert system.tco_savings() == pytest.approx(0.0)
+
+    def test_nvmm_placement_saves(self):
+        system = fresh_system()
+        system.move_region(0, 1)
+        # Moving 1/4 of the data to 1/3-cost NVMM saves 1/4 * 2/3.
+        assert system.tco_savings() == pytest.approx(0.25 * 2 / 3, rel=0.01)
+
+    def test_compressed_placement_saves_more(self):
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        before = system.tco()
+        system.move_region(0, ct_idx)
+        assert system.tco() < before
+
+    def test_savings_never_negative_when_fully_packed(self):
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        for region in range(system.space.num_regions):
+            system.move_region(region, ct_idx)
+        assert system.tco_savings() > 0.0
+
+
+class TestConsistency:
+    def test_placement_counts_match_tier_accounting(self):
+        system = fresh_system()
+        rng = np.random.default_rng(0)
+        ct_idx = system.tier_index("CT")
+        for _ in range(5):
+            system.advance_window()
+            system.access_batch(rng.integers(0, system.space.num_pages, 2000))
+            system.move_region(int(rng.integers(0, 4)), int(rng.integers(0, 3)))
+        counts = system.placement_counts()
+        assert counts.sum() == system.space.num_pages
+        assert counts[0] == system.tiers[0].used_pages
+        assert counts[1] == system.tiers[1].used_pages
+        assert counts[ct_idx] == system.tiers[ct_idx].resident_pages

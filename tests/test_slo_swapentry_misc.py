@@ -1,0 +1,232 @@
+"""Tests for the SLO controller, swap-entry encoding, zsmalloc compaction
+and the diurnal workload wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocators.zsmalloc import ZsmallocAllocator
+from repro.core.knob import Knob
+from repro.core.slo import SLOController, run_sla_tuned
+from repro.mem.swapentry import (
+    FLAG_ACCESSED,
+    FLAG_DIRTY,
+    FLAG_PREFETCHED,
+    SwapEntry,
+    SwapEntryTable,
+)
+from repro.workloads.diurnal import DiurnalWorkload
+from repro.workloads.masim import MasimWorkload
+
+
+class TestSLOController:
+    def test_violation_raises_alpha(self):
+        controller = SLOController(target_slowdown=0.05, alpha=0.5)
+        knob = controller.observe(0.20)
+        assert knob.alpha > 0.5
+
+    def test_headroom_lowers_alpha(self):
+        controller = SLOController(target_slowdown=0.05, alpha=0.5)
+        knob = controller.observe(0.001)
+        assert knob.alpha < 0.5
+
+    def test_near_target_holds(self):
+        controller = SLOController(target_slowdown=0.05, alpha=0.5)
+        knob = controller.observe(0.045)  # within the 80 % comfort band
+        assert knob.alpha == pytest.approx(0.5)
+
+    def test_clamping(self):
+        controller = SLOController(
+            target_slowdown=0.05, alpha=0.06, min_alpha=0.05
+        )
+        for _ in range(10):
+            knob = controller.observe(0.0)
+        assert knob.alpha == pytest.approx(0.05)
+        for _ in range(10):
+            knob = controller.observe(1.0)
+        assert knob.alpha <= 1.0
+
+    def test_violations_counted(self):
+        controller = SLOController(target_slowdown=0.05)
+        controller.observe(0.2)
+        controller.observe(0.01)
+        controller.observe(0.3)
+        assert controller.violations == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOController(target_slowdown=-1.0)
+        with pytest.raises(ValueError):
+            SLOController(target_slowdown=0.1, backoff_gain=1.5)
+        with pytest.raises(ValueError):
+            SLOController(target_slowdown=0.1, min_alpha=0.9, max_alpha=0.1)
+
+    def test_end_to_end_harvests_tco_within_sla(self, system):
+        workload = MasimWorkload(
+            num_pages=system.space.num_pages, ops_per_window=20_000, seed=3
+        )
+        summary, controller, alphas = run_sla_tuned(
+            system, workload, target_slowdown=0.10, num_windows=8, seed=1
+        )
+        # The controller explores downward from its safe start.
+        assert min(alphas) < alphas[0]
+        assert summary.tco_savings > 0.05
+        # Violations are transient, not persistent.
+        assert controller.violations < len(alphas)
+
+
+class TestSwapEntry:
+    def test_roundtrip(self):
+        entry = SwapEntry(tier_id=3, object_id=123456, flags=FLAG_DIRTY)
+        assert SwapEntry.decode(entry.encode()) == entry
+
+    def test_flag_helpers(self):
+        entry = SwapEntry(1, 1).with_flags(FLAG_ACCESSED | FLAG_PREFETCHED)
+        assert entry.accessed and entry.prefetched and not entry.dirty
+
+    def test_field_bounds(self):
+        with pytest.raises(ValueError):
+            SwapEntry(tier_id=256, object_id=0)
+        with pytest.raises(ValueError):
+            SwapEntry(tier_id=0, object_id=1 << 48)
+        with pytest.raises(ValueError):
+            SwapEntry.decode(1 << 64)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        tier=st.integers(0, 255),
+        obj=st.integers(0, (1 << 48) - 1),
+        flags=st.integers(0, 255),
+    )
+    def test_roundtrip_property(self, tier, obj, flags):
+        entry = SwapEntry(tier, obj, flags)
+        decoded = SwapEntry.decode(entry.encode())
+        assert (decoded.tier_id, decoded.object_id, decoded.flags) == (
+            tier,
+            obj,
+            flags,
+        )
+
+    def test_table_operations(self):
+        table = SwapEntryTable()
+        table.insert(7, SwapEntry(tier_id=2, object_id=99))
+        assert 7 in table and len(table) == 1
+        table.mark(7, FLAG_ACCESSED)
+        assert table.lookup(7).accessed
+        assert table.pages_in_tier(2) == [7]
+        assert table.pages_in_tier(3) == []
+        removed = table.remove(7)
+        assert removed.object_id == 99
+        assert 7 not in table
+
+    def test_table_errors(self):
+        table = SwapEntryTable()
+        with pytest.raises(KeyError):
+            table.lookup(1)
+        with pytest.raises(KeyError):
+            table.remove(1)
+        table.insert(1, SwapEntry(0, 0))
+        with pytest.raises(KeyError):
+            table.insert(1, SwapEntry(0, 1))
+
+
+class TestZsmallocCompaction:
+    def test_compaction_reclaims_pages(self):
+        pool = ZsmallocAllocator(arena_pages=1 << 12)
+        handles = [pool.store(1200) for _ in range(60)]
+        # Free most objects, leaving stragglers across many zspages.
+        for handle in handles[::3]:
+            pool.free(handle)
+        for handle in handles[1::3]:
+            pool.free(handle)
+        before = pool.pool_pages
+        reclaimed, moved = pool.compact()
+        assert pool.pool_pages == before - reclaimed
+        assert reclaimed >= 0 and moved >= 0
+        # Accounting stays consistent.
+        assert pool.stored_objects == 20
+        assert pool.stored_bytes == 20 * 1200
+
+    def test_compaction_preserves_frees(self):
+        pool = ZsmallocAllocator(arena_pages=1 << 12)
+        handles = [pool.store(1000) for _ in range(30)]
+        for handle in handles[:20:2]:
+            pool.free(handle)
+        pool.compact()
+        # Every surviving handle can still be freed.
+        for handle in handles[1:20:2] + handles[20:]:
+            pool.free(handle)
+        assert pool.pool_pages == 0
+
+    def test_compaction_idempotent_when_dense(self):
+        pool = ZsmallocAllocator(arena_pages=1 << 12)
+        for _ in range(16):
+            pool.store(2048)
+        reclaimed, moved = pool.compact()
+        assert reclaimed == 0
+
+
+class TestDiurnalWorkload:
+    def _phases(self):
+        return [
+            MasimWorkload(
+                num_pages=1024, ops_per_window=1000, hot_fraction=0.1, seed=1
+            ),
+            MasimWorkload(
+                num_pages=1024, ops_per_window=1000, hot_fraction=0.5, seed=2
+            ),
+        ]
+
+    def test_phase_switching(self):
+        workload = DiurnalWorkload(self._phases(), windows_per_phase=2)
+        assert workload.current_phase == 0
+        workload.next_window()
+        workload.next_window()
+        assert workload.current_phase == 1
+        for _ in range(2):
+            workload.next_window()
+        assert workload.current_phase == 0  # wrapped
+
+    def test_phases_actually_differ(self):
+        workload = DiurnalWorkload(self._phases(), windows_per_phase=1)
+        narrow = workload.next_window()  # hot 10 % of pages
+        wide = workload.next_window()  # hot 50 % of pages
+        assert len(np.unique(narrow)) < len(np.unique(wide))
+
+    def test_validation(self):
+        phases = self._phases()
+        with pytest.raises(ValueError):
+            DiurnalWorkload(phases[:1])
+        with pytest.raises(ValueError):
+            DiurnalWorkload(phases, windows_per_phase=0)
+        mismatched = [
+            phases[0],
+            MasimWorkload(num_pages=2048, ops_per_window=1000),
+        ]
+        with pytest.raises(ValueError, match="same pages"):
+            DiurnalWorkload(mismatched)
+
+    def test_daemon_adapts_across_phases(self, system):
+        from repro.core.daemon import TSDaemon
+        from repro.core.placement.waterfall import WaterfallModel
+
+        phases = [
+            MasimWorkload(
+                num_pages=system.space.num_pages,
+                ops_per_window=5000,
+                hot_fraction=0.1,
+                seed=1,
+            ),
+            MasimWorkload(
+                num_pages=system.space.num_pages,
+                ops_per_window=5000,
+                hot_fraction=0.3,
+                seed=2,
+            ),
+        ]
+        workload = DiurnalWorkload(phases, windows_per_phase=3)
+        daemon = TSDaemon(system, WaterfallModel(50.0), sampling_rate=1)
+        summary = daemon.run(workload, 9)
+        assert summary.windows == 9
+        assert summary.tco_savings > 0

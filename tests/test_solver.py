@@ -1,0 +1,162 @@
+"""Tests for the placement ILP and its three backends.
+
+The crucial guarantees: every backend respects the budget (or flags
+infeasibility), branch-and-bound is exact, scipy matches branch-and-bound,
+and the greedy heuristic is near-optimal.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import (
+    PlacementProblem,
+    solve,
+    solve_branch_bound,
+    solve_greedy,
+    solve_scipy,
+)
+
+
+def tierlike_problem(num_regions, rng, budget_factor=0.5, capacity=False):
+    """Random instance with the placement structure: anti-monotone
+    penalty/cost columns (DRAM expensive/zero-penalty first)."""
+    hotness = rng.exponential(1.0, num_regions)
+    per_access = np.array([0.0, 30.0, 2000.0, 7000.0])
+    per_cost = np.array([1.0, 0.4, 0.3, 0.1])
+    penalty = hotness[:, None] * per_access[None, :]
+    cost = np.tile(per_cost, (num_regions, 1)) * (
+        0.8 + 0.4 * rng.random((num_regions, 4))
+    )
+    lo, hi = cost.min(axis=1).sum(), cost[:, 0].sum()
+    problem = PlacementProblem(
+        penalty=penalty,
+        cost=cost,
+        budget=lo + budget_factor * (hi - lo),
+        capacity=np.array([num_regions, num_regions // 2, -1, -1])
+        if capacity
+        else None,
+    )
+    return problem
+
+
+class TestProblem:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            PlacementProblem(np.zeros((2, 3)), np.zeros((2, 2)), 1.0)
+
+    def test_dims_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PlacementProblem(np.zeros(3), np.zeros(3), 1.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="one entry per tier"):
+            PlacementProblem(
+                np.zeros((2, 2)), np.zeros((2, 2)), 1.0, capacity=np.array([1])
+            )
+
+    def test_evaluate(self):
+        problem = PlacementProblem(
+            penalty=np.array([[0.0, 5.0], [0.0, 7.0]]),
+            cost=np.array([[2.0, 1.0], [2.0, 1.0]]),
+            budget=3.0,
+        )
+        obj, cost = problem.evaluate(np.array([0, 1]))
+        assert obj == 7.0 and cost == 3.0
+        assert problem.is_feasible(np.array([0, 1]))
+        assert not problem.is_feasible(np.array([0, 0]))
+
+
+class TestBackends:
+    def test_trivial_all_dram_when_budget_max(self):
+        rng = np.random.default_rng(0)
+        problem = tierlike_problem(6, rng, budget_factor=1.0)
+        for solver in (solve_branch_bound, solve_scipy, solve_greedy):
+            solution = solver(problem)
+            assert solution.objective == pytest.approx(0.0)
+            assert (solution.assignment == 0).all()
+
+    def test_tight_budget_forces_cheapest(self):
+        rng = np.random.default_rng(1)
+        problem = tierlike_problem(6, rng, budget_factor=0.0)
+        solution = solve_branch_bound(problem)
+        assert solution.feasible
+        assert solution.cost == pytest.approx(problem.min_cost(), rel=1e-9)
+
+    def test_infeasible_flagged(self):
+        problem = PlacementProblem(
+            penalty=np.array([[0.0, 5.0]]),
+            cost=np.array([[2.0, 1.0]]),
+            budget=0.5,
+        )
+        for solver in (solve_branch_bound, solve_scipy, solve_greedy):
+            solution = solver(problem)
+            assert not solution.feasible
+
+    def test_scipy_matches_exact(self):
+        rng = np.random.default_rng(2)
+        for trial in range(5):
+            problem = tierlike_problem(8, rng, budget_factor=0.3 + 0.1 * trial)
+            exact = solve_branch_bound(problem)
+            hi = solve_scipy(problem)
+            assert hi.objective == pytest.approx(exact.objective, rel=1e-6)
+            assert hi.feasible
+
+    def test_greedy_near_optimal(self):
+        rng = np.random.default_rng(3)
+        for trial in range(8):
+            problem = tierlike_problem(10, rng, budget_factor=0.2 + 0.08 * trial)
+            exact = solve_branch_bound(problem)
+            greedy = solve_greedy(problem)
+            assert greedy.cost <= problem.budget + 1e-9
+            # MCKP greedy is within one region's swap of optimal.
+            slack = problem.penalty.max()
+            assert greedy.objective <= exact.objective + slack + 1e-9
+
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(4)
+        problem = tierlike_problem(8, rng, budget_factor=0.9, capacity=True)
+        for solver in (solve_branch_bound, solve_scipy, solve_greedy):
+            solution = solver(problem)
+            counts = np.bincount(solution.assignment, minlength=4)
+            assert counts[1] <= 4  # capacity num_regions // 2
+
+    def test_branch_bound_region_cap(self):
+        problem = PlacementProblem(np.zeros((30, 2)), np.zeros((30, 2)), 1.0)
+        with pytest.raises(ValueError, match="limited"):
+            solve_branch_bound(problem)
+
+    def test_registry_auto_and_errors(self):
+        rng = np.random.default_rng(5)
+        problem = tierlike_problem(4, rng)
+        solution = solve(problem, backend="auto")
+        assert solution.backend == "branch_bound"  # tiny -> exact
+        with pytest.raises(KeyError, match="available"):
+            solve(problem, backend="cplex")
+
+    def test_solve_times_recorded(self):
+        rng = np.random.default_rng(6)
+        problem = tierlike_problem(6, rng)
+        for name in ("scipy", "branch_bound", "greedy"):
+            assert solve(problem, backend=name).solve_wall_ns > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_regions=st.integers(2, 9),
+    budget_factor=st.floats(0.0, 1.0),
+    seed=st.integers(0, 10_000),
+)
+def test_backend_agreement_property(num_regions, budget_factor, seed):
+    """scipy must equal branch-and-bound; greedy must be feasible and no
+    better than the optimum."""
+    rng = np.random.default_rng(seed)
+    problem = tierlike_problem(num_regions, rng, budget_factor)
+    exact = solve_branch_bound(problem)
+    hi = solve_scipy(problem)
+    greedy = solve_greedy(problem)
+    assert exact.feasible and hi.feasible and greedy.feasible
+    assert hi.objective == pytest.approx(exact.objective, rel=1e-6, abs=1e-9)
+    assert greedy.objective >= exact.objective - 1e-9
+    assert greedy.cost <= problem.budget + 1e-9

@@ -1,0 +1,126 @@
+"""Tests for the DP and Lagrangian solver backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import (
+    PlacementProblem,
+    solve,
+    solve_branch_bound,
+    solve_dp,
+    solve_lagrangian,
+)
+from tests.test_solver import tierlike_problem
+
+
+class TestDP:
+    def test_matches_exact_within_rounding(self):
+        rng = np.random.default_rng(0)
+        for trial in range(6):
+            problem = tierlike_problem(9, rng, budget_factor=0.15 * trial + 0.1)
+            exact = solve_branch_bound(problem)
+            dp = solve_dp(problem, resolution=4000)
+            assert dp.feasible
+            assert dp.cost <= problem.budget + 1e-9
+            # Rounding loses at most ~regions/resolution of budget.
+            slack = problem.penalty.max() * 2
+            assert dp.objective <= exact.objective + slack
+
+    def test_budget_never_exceeded(self):
+        rng = np.random.default_rng(1)
+        problem = tierlike_problem(12, rng, budget_factor=0.3)
+        dp = solve_dp(problem, resolution=200)  # coarse buckets
+        assert dp.cost <= problem.budget + 1e-9
+
+    def test_infeasible_flagged(self):
+        problem = PlacementProblem(
+            penalty=np.array([[0.0, 5.0]]),
+            cost=np.array([[2.0, 1.0]]),
+            budget=0.5,
+        )
+        assert not solve_dp(problem).feasible
+
+    def test_rejects_capacity(self):
+        problem = PlacementProblem(
+            penalty=np.zeros((2, 2)),
+            cost=np.ones((2, 2)),
+            budget=10.0,
+            capacity=np.array([1, 1]),
+        )
+        with pytest.raises(ValueError, match="capacity"):
+            solve_dp(problem)
+
+    def test_resolution_validation(self):
+        problem = PlacementProblem(np.zeros((1, 1)), np.zeros((1, 1)), 1.0)
+        with pytest.raises(ValueError):
+            solve_dp(problem, resolution=1)
+
+
+class TestLagrangian:
+    def test_loose_budget_is_optimal(self):
+        rng = np.random.default_rng(2)
+        problem = tierlike_problem(10, rng, budget_factor=1.0)
+        solution = solve_lagrangian(problem)
+        assert solution.optimal
+        assert solution.objective == pytest.approx(0.0, abs=1e-9)
+
+    def test_feasible_and_near_exact(self):
+        rng = np.random.default_rng(3)
+        for trial in range(6):
+            problem = tierlike_problem(9, rng, budget_factor=0.1 + 0.15 * trial)
+            exact = solve_branch_bound(problem)
+            lagr = solve_lagrangian(problem)
+            assert lagr.feasible
+            assert lagr.cost <= problem.budget + 1e-9
+            # Duality gap bounded by a couple of region swaps.
+            slack = 2 * problem.penalty.max()
+            assert lagr.objective <= exact.objective + slack
+
+    def test_infeasible_flagged(self):
+        problem = PlacementProblem(
+            penalty=np.array([[0.0, 5.0]]),
+            cost=np.array([[2.0, 1.0]]),
+            budget=0.5,
+        )
+        assert not solve_lagrangian(problem).feasible
+
+    def test_rejects_capacity(self):
+        problem = PlacementProblem(
+            penalty=np.zeros((2, 2)),
+            cost=np.ones((2, 2)),
+            budget=10.0,
+            capacity=np.array([1, 1]),
+        )
+        with pytest.raises(ValueError, match="capacity"):
+            solve_lagrangian(problem)
+
+
+class TestRegistry:
+    def test_new_backends_registered(self):
+        rng = np.random.default_rng(4)
+        problem = tierlike_problem(6, rng, budget_factor=0.5)
+        for name in ("dp", "lagrangian"):
+            solution = solve(problem, backend=name)
+            assert solution.backend == name
+            assert solution.feasible
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_regions=st.integers(2, 8),
+    budget_factor=st.floats(0.05, 1.0),
+    seed=st.integers(0, 5000),
+)
+def test_all_five_backends_feasible_property(num_regions, budget_factor, seed):
+    """Every backend returns a budget-respecting solution (or flags
+    infeasibility) and none beats the exact optimum."""
+    rng = np.random.default_rng(seed)
+    problem = tierlike_problem(num_regions, rng, budget_factor)
+    exact = solve_branch_bound(problem)
+    for name in ("scipy", "greedy", "dp", "lagrangian"):
+        solution = solve(problem, backend=name)
+        assert solution.feasible
+        assert solution.cost <= problem.budget + 1e-9
+        assert solution.objective >= exact.objective - 1e-6

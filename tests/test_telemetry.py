@@ -1,0 +1,122 @@
+"""Tests for PEBS sampling, region hotness, and the profiler pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.mem.page import PAGES_PER_REGION
+from repro.telemetry.hotness import RegionHotness
+from repro.telemetry.pebs import PEBS_DEFAULT_RATE, PEBSSampler
+from repro.telemetry.window import Profiler
+
+
+class TestPEBSSampler:
+    def test_rate_one_records_everything(self):
+        sampler = PEBSSampler(rate=1)
+        batch = np.arange(1000)
+        assert len(sampler.sample(batch)) == 1000
+
+    def test_thinning_is_approximately_unbiased(self):
+        sampler = PEBSSampler(rate=10, seed=1)
+        batch = np.arange(100_000)
+        sampled = sampler.sample(batch)
+        assert 8_000 < len(sampled) < 12_000
+        assert sampler.effective_rate == pytest.approx(10, rel=0.2)
+
+    def test_sampled_subset_preserved(self):
+        sampler = PEBSSampler(rate=5, seed=2)
+        batch = np.full(10_000, 7)
+        sampled = sampler.sample(batch)
+        assert (sampled == 7).all()
+
+    def test_default_rate_is_papers(self):
+        assert PEBS_DEFAULT_RATE == 5000
+        assert PEBSSampler().rate == 5000
+
+    def test_overhead_accumulates(self):
+        sampler = PEBSSampler(rate=1)
+        sampler.sample(np.arange(10))
+        assert sampler.overhead_ns > 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PEBSSampler(rate=0)
+
+
+class TestRegionHotness:
+    def test_observe_accumulates_per_region(self):
+        hot = RegionHotness(4, cooling=0.0)
+        pages = np.array([0, 1, PAGES_PER_REGION, PAGES_PER_REGION])
+        hot.observe(pages)
+        assert hot.hotness.tolist() == [2.0, 2.0, 0.0, 0.0]
+
+    def test_cooling(self):
+        hot = RegionHotness(2, cooling=0.5)
+        hot.observe(np.array([0, 0, 0, 0]))
+        hot.observe(np.array([], dtype=np.int64))
+        assert hot.hotness[0] == pytest.approx(2.0)
+
+    def test_full_cooling_keeps_only_current(self):
+        hot = RegionHotness(2, cooling=1.0)
+        hot.observe(np.array([0] * 10))
+        hot.observe(np.array([PAGES_PER_REGION]))
+        assert hot.hotness.tolist() == [0.0, 1.0]
+
+    def test_warm_population_from_gradual_cooling(self):
+        """Paper §3.1: hot pages age to warm, not straight to cold."""
+        hot = RegionHotness(2, cooling=0.5)
+        for _ in range(5):
+            hot.observe(np.array([0] * 100))
+        for _ in range(2):
+            hot.observe(np.array([], dtype=np.int64))
+        assert 0 < hot.hotness[0] < 100  # warm, neither hot nor zero
+
+    def test_threshold_and_classify(self):
+        hot = RegionHotness(4, cooling=0.0)
+        hot.hotness[:] = [0.0, 1.0, 5.0, 10.0]
+        assert hot.threshold(50.0) == pytest.approx(3.0)
+        assert hot.classify(50.0).tolist() == [False, False, True, True]
+
+    def test_rank_coldest_first(self):
+        hot = RegionHotness(3)
+        hot.hotness[:] = [5.0, 1.0, 3.0]
+        assert hot.rank().tolist() == [1, 2, 0]
+
+    def test_out_of_range_page_raises(self):
+        hot = RegionHotness(1)
+        with pytest.raises(ValueError):
+            hot.observe(np.array([PAGES_PER_REGION * 5]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionHotness(0)
+        with pytest.raises(ValueError):
+            RegionHotness(1, cooling=1.5)
+        with pytest.raises(ValueError):
+            RegionHotness(1).threshold(200)
+
+
+class TestProfiler:
+    def test_window_lifecycle(self):
+        profiler = Profiler(num_regions=2, sampling_rate=1)
+        profiler.record(np.array([0, 1, 2]))
+        profiler.record(np.array([PAGES_PER_REGION]))
+        record = profiler.end_window()
+        assert record.window == 0
+        assert record.window_samples == 4
+        assert record.hotness.tolist() == [3.0, 1.0]
+        second = profiler.end_window()
+        assert second.window == 1
+        assert second.window_samples == 0
+
+    def test_hotness_snapshot_is_copy(self):
+        profiler = Profiler(num_regions=1, sampling_rate=1)
+        profiler.record(np.array([0]))
+        record = profiler.end_window()
+        profiler.record(np.array([0, 0]))
+        profiler.end_window()
+        assert record.hotness[0] == 1.0  # unchanged by later windows
+
+    def test_sampling_rate_carried(self):
+        profiler = Profiler(num_regions=1, sampling_rate=123)
+        record = profiler.end_window()
+        assert record.sampling_rate == 123

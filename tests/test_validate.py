@@ -1,0 +1,24 @@
+"""Tests for the artifact-claim validation command."""
+
+from repro.bench.validate import ClaimResult, validate_c2
+from repro.cli import main
+
+
+class TestValidateC2:
+    def test_c2_passes_at_small_scale(self):
+        result = validate_c2(windows=5, seed=0)
+        assert isinstance(result, ClaimResult)
+        assert result.claim == "C2"
+        assert result.passed
+        assert len(result.details) == 3
+        assert all(line.startswith("[PASS]") for line in result.details)
+        assert result.wall_s > 0
+
+
+class TestValidateCLI:
+    def test_cli_validate_exit_code(self, capsys):
+        code = main(["validate", "--windows", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL PASS" in out
+        assert "C1" in out and "C2" in out

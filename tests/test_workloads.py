@@ -1,0 +1,279 @@
+"""Tests for the workload generators and distributions."""
+
+import numpy as np
+import pytest
+
+from repro.mem.page import PAGES_PER_REGION
+from repro.workloads.base import Workload
+from repro.workloads.distributions import (
+    ChurningColdSet,
+    GaussianGenerator,
+    HotspotGenerator,
+    HotWarmColdGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.graph import BFSWorkload, PageRankWorkload
+from repro.workloads.graphsage import GraphSAGEWorkload
+from repro.workloads.kv import KVWorkload
+from repro.workloads.masim import MasimWorkload
+from repro.workloads.registry import WORKLOADS, make_workload, workload_table
+from repro.workloads.rmat import degrees, rmat_edges, to_csr
+from repro.workloads.xsbench import XSBenchWorkload
+
+
+class TestDistributions:
+    def test_zipfian_skew(self, rng):
+        gen = ZipfianGenerator(1000, theta=0.99)
+        samples = gen.sample(50_000, rng)
+        assert (samples >= 0).all() and (samples < 1000).all()
+        top10 = (samples < 10).mean()
+        assert top10 > 0.25  # top 1 % of ranks takes >25 % of accesses
+
+    def test_zipfian_theta_zero_uniform(self, rng):
+        gen = ZipfianGenerator(100, theta=0.0)
+        samples = gen.sample(50_000, rng)
+        counts = np.bincount(samples, minlength=100)
+        assert counts.min() > 300  # roughly uniform
+
+    def test_gaussian_centered(self, rng):
+        gen = GaussianGenerator(10_000, center_fraction=0.5, std_fraction=0.05)
+        samples = gen.sample(20_000, rng)
+        assert abs(samples.mean() - 5000) < 200
+        assert (samples >= 0).all() and (samples < 10_000).all()
+
+    def test_hotspot_fractions(self, rng):
+        gen = HotspotGenerator(1000, hot_fraction=0.1, hot_access_prob=0.9)
+        samples = gen.sample(50_000, rng)
+        hot_share = (samples < 100).mean()
+        assert 0.85 < hot_share < 0.95
+
+    def test_uniform_range(self, rng):
+        samples = UniformGenerator(50).sample(10_000, rng)
+        assert set(np.unique(samples)) <= set(range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            GaussianGenerator(10, std_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10, hot_fraction=0.0)
+
+
+class TestChurningColdSet:
+    def test_confined_to_active_window(self, rng):
+        churn = ChurningColdSet(1000, active_fraction=0.05, advance_fraction=0.02)
+        draws = rng.integers(0, 1000, 5000)
+        mapped = churn.map(draws)
+        assert len(np.unique(mapped)) <= 50
+
+    def test_advance_rotates(self, rng):
+        churn = ChurningColdSet(1000, active_fraction=0.05, advance_fraction=0.10)
+        draws = rng.integers(0, 1000, 5000)
+        before = set(np.unique(churn.map(draws)))
+        churn.advance()
+        after = set(np.unique(churn.map(draws)))
+        assert before != after
+
+    def test_wraps_around(self, rng):
+        churn = ChurningColdSet(100, active_fraction=0.5, advance_fraction=0.9)
+        for _ in range(5):
+            churn.advance()
+        mapped = churn.map(rng.integers(0, 100, 1000))
+        assert (mapped >= 0).all() and (mapped < 100).all()
+
+
+class TestHotWarmCold:
+    def test_population_structure(self, rng):
+        gen = HotWarmColdGenerator(
+            10_000,
+            hot_fraction=0.1,
+            warm_fraction=0.3,
+            hot_mass=0.9,
+            warm_mass=0.05,
+        )
+        samples = gen.sample(100_000, rng)
+        hot_share = (samples < gen.hot_items).mean()
+        warm_mask = (samples >= gen.hot_items) & (
+            samples < gen.hot_items + gen.warm_items
+        )
+        assert 0.87 < hot_share < 0.93
+        assert 0.03 < warm_mask.mean() < 0.08
+
+    def test_cold_accesses_clustered(self, rng):
+        gen = HotWarmColdGenerator(10_000, cold_active_fraction=0.02)
+        samples = gen.sample(100_000, rng)
+        cold = samples[samples >= gen.hot_items + gen.warm_items]
+        # Cold accesses hit only the small active window.
+        assert len(np.unique(cold)) <= gen._cold.active + 1
+
+    def test_hot_drift(self, rng):
+        gen = HotWarmColdGenerator(
+            10_000, hot_drift_fraction=0.5, hot_mass=1.0, warm_mass=0.0
+        )
+        first = set(np.unique(gen.sample(5000, rng)))
+        gen.advance()
+        second = set(np.unique(gen.sample(5000, rng)))
+        assert first != second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotWarmColdGenerator(100, hot_fraction=0.6, warm_fraction=0.5)
+        with pytest.raises(ValueError):
+            HotWarmColdGenerator(100, hot_mass=0.9, warm_mass=0.2)
+
+
+class TestKVWorkload:
+    def test_page_range_and_determinism(self):
+        w1 = KVWorkload.memcached_ycsb(num_pages=1024, ops_per_window=10_000)
+        w2 = KVWorkload.memcached_ycsb(num_pages=1024, ops_per_window=10_000)
+        batch1, batch2 = w1.next_window(), w2.next_window()
+        assert (batch1 == batch2).all()
+        assert batch1.min() >= 0 and batch1.max() < 1024
+
+    def test_reset(self):
+        w = KVWorkload.memcached_memtier(num_pages=1024, ops_per_window=5000)
+        first = w.next_window()
+        w.reset()
+        assert (w.next_window() == first).all()
+        assert w.window == 1
+
+    def test_layout_block_shuffle_preserves_coverage(self):
+        w = KVWorkload(
+            "t", num_pages=1024, ops_per_window=1000, layout_block_pages=256
+        )
+        assert sorted(w._page_of_block.tolist()) == list(range(1024))
+
+    def test_factories_named(self):
+        assert KVWorkload.memcached_ycsb(num_pages=1024).name == "memcached-ycsb"
+        assert KVWorkload.redis_ycsb(num_pages=1024).name == "redis-ycsb"
+        assert "memtier" in KVWorkload.memcached_memtier(num_pages=1024).name
+
+    def test_value_size_validation(self):
+        with pytest.raises(ValueError):
+            KVWorkload.memcached_memtier(num_pages=1024, value_kb=2)
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            KVWorkload("t", num_pages=1024, layout_block_pages=300)
+
+
+class TestRMAT:
+    def test_shape(self):
+        edges = rmat_edges(scale=8, edge_factor=4, seed=0)
+        assert edges.shape == (2, 4 * 256)
+        assert edges.max() < 256
+
+    def test_degree_skew(self):
+        edges = rmat_edges(scale=12, edge_factor=8, seed=1)
+        deg = degrees(edges, 1 << 12)
+        # Power law: the max degree dwarfs the median.
+        assert deg.max() > 20 * max(1, np.median(deg))
+
+    def test_csr_roundtrip(self):
+        edges = rmat_edges(scale=6, edge_factor=4, seed=2)
+        offsets, targets = to_csr(edges, 64)
+        assert offsets[-1] == edges.shape[1]
+        for v in range(64):
+            expected = sorted(edges[1][edges[0] == v].tolist())
+            got = sorted(targets[offsets[v] : offsets[v + 1]].tolist())
+            assert got == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmat_edges(scale=0)
+        with pytest.raises(ValueError):
+            rmat_edges(scale=4, a=0.9, b=0.3, c=0.3)
+
+
+class TestGraphWorkloads:
+    def test_pagerank_sweep_rotates(self):
+        w = PageRankWorkload(scale=10, edge_factor=8, ops_per_window=2000)
+        first = set(np.unique(w.next_window()))
+        second = set(np.unique(w.next_window()))
+        assert first != second  # the sweep moved on
+
+    def test_pagerank_hubs_recur(self):
+        w = PageRankWorkload(scale=10, edge_factor=8, ops_per_window=2000)
+        batches = [set(np.unique(w.next_window())) for _ in range(4)]
+        common = set.intersection(*batches)
+        assert common  # hub vertex pages appear in every window
+
+    def test_bfs_resumes_across_windows(self):
+        w = BFSWorkload(scale=10, edge_factor=8, ops_per_window=1000)
+        w.next_window()
+        visited_after_one = int(w._visited.sum()) if w._visited is not None else 0
+        w.next_window()
+        visited_after_two = int(w._visited.sum()) if w._visited is not None else 0
+        assert visited_after_two >= visited_after_one
+
+    def test_bfs_within_budget_factor(self):
+        w = BFSWorkload(scale=10, edge_factor=8, ops_per_window=1000)
+        batch = w.next_window()
+        assert len(batch) <= 1000
+
+    def test_region_aligned(self):
+        for w in (
+            PageRankWorkload(scale=10, edge_factor=8),
+            BFSWorkload(scale=10, edge_factor=8),
+        ):
+            assert w.num_pages % PAGES_PER_REGION == 0
+
+
+class TestOtherWorkloads:
+    def test_xsbench_index_hot(self):
+        w = XSBenchWorkload(num_pages=4096, ops_per_window=5000)
+        batch = w.next_window()
+        index_share = (batch < w.index_pages).mean()
+        expected = w.index_accesses / (w.index_accesses + w.data_accesses)
+        assert abs(index_share - expected) < 0.05
+
+    def test_xsbench_batch_size(self):
+        w = XSBenchWorkload(num_pages=4096, ops_per_window=1000)
+        assert len(w.next_window()) == 1000 * (
+            w.index_accesses + w.data_accesses
+        )
+
+    def test_graphsage_epoch_sweep(self):
+        w = GraphSAGEWorkload(scale=13, ops_per_window=5000)
+        assert w._epoch_cursor == 0
+        w.next_window()
+        assert w._epoch_cursor > 0
+
+    def test_masim_hot_set(self):
+        w = MasimWorkload(num_pages=1024, ops_per_window=20_000, hot_fraction=0.1)
+        batch = w.next_window()
+        assert (batch < 103).mean() > 0.8
+
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            MasimWorkload(num_pages=100)  # less than one region
+        with pytest.raises(ValueError):
+            MasimWorkload(num_pages=1024, ops_per_window=0)
+
+
+class TestRegistry:
+    def test_table2_rows(self):
+        rows = workload_table()
+        names = {r["workload"] for r in rows}
+        assert {
+            "memcached-ycsb",
+            "redis-ycsb",
+            "bfs",
+            "pagerank",
+            "xsbench",
+            "graphsage",
+        } <= names
+        for row in rows:
+            assert row["sim_rss_mb"] > 0
+
+    def test_paper_rss_recorded(self):
+        assert WORKLOADS["xsbench"].paper_rss_gb == 119.0
+        assert WORKLOADS["redis-ycsb"].paper_rss_gb == 90.0
+
+    def test_make_workload(self):
+        w = make_workload("masim", num_pages=1024)
+        assert isinstance(w, Workload)
+        with pytest.raises(KeyError, match="available"):
+            make_workload("spark")

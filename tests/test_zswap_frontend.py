@@ -1,0 +1,120 @@
+"""Tests for the kernel-shaped zswap frontend."""
+
+import numpy as np
+import pytest
+
+from repro.mem.zswap import ZswapFrontend
+
+
+@pytest.fixture
+def frontend(system):
+    return ZswapFrontend(system)
+
+
+def compressible_page(system, tier_name="CT"):
+    tier = system.tiers[system.tier_index(tier_name)]
+    for pid in range(system.space.num_pages):
+        if tier.accepts(float(system.space.compressibility[pid])):
+            return pid
+    raise AssertionError("no compressible page found")
+
+
+class TestStoreLoad:
+    def test_store_creates_swap_entry(self, system, frontend):
+        pid = compressible_page(system)
+        ns = frontend.store(pid, "CT")
+        assert ns > 0
+        entry = frontend.entries.lookup(pid)
+        assert entry.tier_id == system.tier_index("CT")
+        assert system.page_location[pid] == system.tier_index("CT")
+
+    def test_load_faults_back_to_dram(self, system, frontend):
+        pid = compressible_page(system)
+        frontend.store(pid, "CT")
+        ns = frontend.load(pid)
+        assert ns > 1000  # decompression dominated
+        assert system.page_location[pid] == 0
+        assert pid not in frontend.entries
+        ct = system.tiers[system.tier_index("CT")]
+        assert ct.stats.faults == 1
+
+    def test_load_unknown_page(self, frontend):
+        with pytest.raises(KeyError):
+            frontend.load(1)
+
+    def test_store_rejected_page_gets_no_entry(self, system, frontend):
+        # Find a page the tier rejects (if any) and confirm no entry.
+        tier = system.tiers[system.tier_index("CT")]
+        rejected = [
+            pid
+            for pid in range(system.space.num_pages)
+            if not tier.accepts(float(system.space.compressibility[pid]))
+        ]
+        if not rejected:
+            pytest.skip("profile produced no incompressible pages")
+        pid = rejected[0]
+        frontend.store(pid, "CT")
+        assert pid not in frontend.entries
+        assert system.page_location[pid] == 0
+
+    def test_store_requires_compressed_tier(self, frontend):
+        with pytest.raises(ValueError, match="not a zswap pool"):
+            frontend.store(0, "NVMM")
+
+    def test_invalidate_frees_object(self, system, frontend):
+        pid = compressible_page(system)
+        frontend.store(pid, "CT")
+        ct = system.tiers[system.tier_index("CT")]
+        assert ct.resident_pages == 1
+        frontend.invalidate(pid)
+        assert ct.resident_pages == 0
+        assert pid not in frontend.entries
+        assert system.placement_counts().sum() == system.space.num_pages
+
+
+class TestStats:
+    def test_pool_stats_rows(self, system, frontend):
+        pid = compressible_page(system)
+        frontend.store(pid, "CT")
+        rows = frontend.pool_stats()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["compressor"] == "lzo"
+        assert row["pool"] == "zsmalloc"
+        assert row["pages"] == 1
+        assert row["compressed_bytes"] > 0
+
+    def test_format_matches_artifact_shape(self, system, frontend):
+        out = frontend.format_stats()
+        assert out.startswith("zswap: Total zswap pools 1")
+        assert "Tier CData pool compressor backing Pages" in out
+        assert "zsmalloc lzo" in out
+
+    def test_requires_compressed_tiers(self, space):
+        from repro.mem.media import DRAM
+        from repro.mem.system import TieredMemorySystem
+        from repro.mem.tier import ByteAddressableTier
+
+        system = TieredMemorySystem(
+            [ByteAddressableTier("DRAM", DRAM, capacity_pages=space.num_pages)],
+            space,
+        )
+        with pytest.raises(ValueError, match="no compressed tiers"):
+            ZswapFrontend(system)
+
+
+class TestRoundTripWorkflow:
+    def test_store_load_cycle_preserves_invariants(self, system, frontend):
+        stored = []
+        for pid in range(0, 64):
+            tier = system.tiers[system.tier_index("CT")]
+            if tier.accepts(float(system.space.compressibility[pid])):
+                frontend.store(pid, "CT")
+                stored.append(pid)
+        for pid in stored[::2]:
+            frontend.load(pid)
+        for pid in stored[1::2]:
+            frontend.invalidate(pid)
+        counts = system.placement_counts()
+        assert counts.sum() == system.space.num_pages
+        assert len(frontend.entries) == 0
