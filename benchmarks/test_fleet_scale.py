@@ -1,0 +1,99 @@
+"""Fleet scale-out: parallel speedup and the solver-service tax.
+
+Two properties of ``repro.fleet``:
+
+* **Parallel speedup** -- an 8-node fleet executed with ``jobs=4``
+  finishes > 1.5x faster than ``jobs=1`` on a machine with >= 4 usable
+  cores (on smaller machines the speedup is reported but not asserted),
+  while producing bit-identical per-node summaries.
+* **Solver-service tax** -- running the fleet against one shared remote
+  solver charges queue + solve + RTT per node (the Figure 14 measurement
+  lifted to fleet scale); the deadline keeps the tail bounded by pushing
+  late arrivals to their on-box greedy solver.
+"""
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.bench.reporting import format_table
+from repro.fleet import FleetRunner, FleetSpec, SolverServiceConfig
+from repro.fleet.metrics import solver_tax_rows
+
+NODES = 8
+WINDOWS = 4
+
+
+def _spec() -> FleetSpec:
+    # The standard profile gives each worker enough simulation to
+    # amortize process startup and IPC.
+    return FleetSpec(nodes=NODES, profile="standard", windows=WINDOWS, seed=0)
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_speedup(benchmark):
+    serial = FleetRunner(_spec(), jobs=1)
+    parallel = FleetRunner(_spec(), jobs=4)
+
+    t0 = time.perf_counter()
+    serial_result = serial.run()
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_result = run_once(benchmark, parallel.run)
+    parallel_s = time.perf_counter() - t0
+
+    speedup = serial_s / parallel_s
+    cpus = _usable_cpus()
+    print()
+    print(
+        f"8-node fleet: jobs=1 {serial_s:.2f}s, jobs=4 {parallel_s:.2f}s "
+        f"-> speedup {speedup:.2f}x on {cpus} usable CPU(s)"
+    )
+
+    # The merge is deterministic: parallel execution changes wall time,
+    # never results.
+    for a, b in zip(serial_result.summaries, parallel_result.summaries):
+        assert a == b
+
+    if cpus >= 4:
+        assert speedup > 1.5, (
+            f"expected > 1.5x speedup at jobs=4 on {cpus} CPUs, got "
+            f"{speedup:.2f}x"
+        )
+
+
+def test_solver_service_tax(benchmark):
+    service = SolverServiceConfig(deployment="remote", timeout_ms=40.0)
+    runner = FleetRunner(_spec(), jobs=1, service=service)
+    result = run_once(benchmark, runner.run)
+
+    rows = solver_tax_rows(result)
+    print()
+    print(format_table(rows, title="Solver-service tax per node (remote)"))
+
+    # Every node either paid the service tax or fell back to greedy.
+    for node, row in zip(result.nodes, rows):
+        assert node.stats.requests == WINDOWS
+        assert row["queue_ms"] > 0 or row["fallbacks"] > 0 or node.spec.node_id == 0
+
+    # Queue wait grows with arrival position until the deadline cuts it
+    # off: the fleet tail is bounded by design.
+    served = [r for r in rows if r["fallbacks"] == 0]
+    queues = [r["queue_ms"] for r in served]
+    assert queues == sorted(queues)
+    deadline_ms = service.timeout_ms
+    for row in served:
+        assert row["queue_ms"] <= deadline_ms * WINDOWS
+    # With a 40 ms deadline and ~10 ms service slots, the tail of an
+    # 8-node batch cannot be served in time -> greedy fallbacks exist.
+    assert any(r["fallbacks"] for r in rows)
+    # Measured wall time is reported alongside the modeled tax.
+    assert all(r["measured_solver_ms"] >= 0 for r in rows)

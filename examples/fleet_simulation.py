@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fleet simulation: N tiered-memory nodes, one shared solver service.
+
+Three views of the same 8-node fleet:
+
+1. local solvers (the paper's Local bars of Figure 14, one per node),
+2. a shared remote solver service -- later nodes queue behind earlier
+   ones each window, and nodes whose wait would blow the deadline fall
+   back to their on-box greedy solver,
+3. a DRAM-budgeted fleet -- the scheduler water-fills the alpha knob
+   across nodes (latency-sensitive KV nodes get more DRAM than batch
+   jobs) under one global budget.
+
+Run:
+    python examples/fleet_simulation.py
+"""
+
+from repro.bench.reporting import format_table
+from repro.fleet import (
+    FleetRunner,
+    FleetScheduler,
+    FleetSpec,
+    SolverServiceConfig,
+    fleet_rollup,
+    node_rows,
+    slowdown_distribution,
+)
+from repro.fleet.metrics import solver_tax_rows
+
+NODES = 8
+WINDOWS = 5
+
+
+def run(title: str, **kwargs) -> None:
+    spec = FleetSpec(nodes=NODES, windows=WINDOWS, seed=0)
+    result = FleetRunner(spec, **kwargs).run()
+    print(f"== {title} ==")
+    print(format_table(node_rows(result)))
+    rollup = fleet_rollup(result)
+    print(format_table([rollup], title="rollup"))
+    print(format_table([slowdown_distribution(result)],
+                       title="slowdown distribution (pct)"))
+    if any(n.stats.queue_ns or n.stats.fallbacks for n in result.nodes):
+        print(format_table(solver_tax_rows(result), title="solver tax"))
+    print()
+
+
+def main() -> None:
+    run("Local solvers", jobs=2)
+    run(
+        "Shared remote solver service (queueing + greedy fallback)",
+        jobs=2,
+        service=SolverServiceConfig(deployment="remote", timeout_ms=40.0),
+    )
+    run(
+        "Global DRAM budget (alpha water-filled across nodes)",
+        jobs=2,
+        scheduler=FleetScheduler(budget_alpha=0.5),
+    )
+
+
+if __name__ == "__main__":
+    main()

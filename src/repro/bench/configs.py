@@ -135,3 +135,54 @@ def enumerate_tiers() -> list[tuple[str, str, str]]:
     allocators = ["zsmalloc", "zbud", "z3fold"]
     backings = ["DRAM", "CXL", "NVMM"]
     return list(itertools.product(algorithms, allocators, backings))
+
+
+# ---------------------------------------------------------------------------
+# Fleet workload profiles (repro.fleet)
+# ---------------------------------------------------------------------------
+
+#: Named per-node workload templates for fleet simulation: node ``i`` of a
+#: fleet draws template ``i % len(profile)``.  Each entry is
+#: ``(registry workload name, factory kwargs)``; sizes are scaled down from
+#: the single-node defaults so a multi-node fleet stays laptop-runnable,
+#: and the fleet spec further scales ``num_pages``/``ops_per_window`` per
+#: node (see :class:`repro.fleet.spec.FleetSpec`).
+FLEET_PROFILES: dict[str, tuple[tuple[str, dict], ...]] = {
+    # A rack slice of the paper's Table 2 service classes: caches, a
+    # store, and an HPC batch job.
+    "standard": (
+        ("memcached-ycsb", {"num_pages": 8192, "ops_per_window": 200_000}),
+        ("redis-ycsb", {"num_pages": 12288, "ops_per_window": 200_000}),
+        ("memcached-memtier", {"num_pages": 8192, "ops_per_window": 200_000}),
+        ("xsbench", {"num_pages": 16384, "ops_per_window": 20_000}),
+    ),
+    # Caching fleet: only the KV service classes.
+    "kv": (
+        ("memcached-ycsb", {"num_pages": 8192, "ops_per_window": 200_000}),
+        ("memcached-memtier", {"num_pages": 8192, "ops_per_window": 200_000}),
+        ("redis-ycsb", {"num_pages": 12288, "ops_per_window": 200_000}),
+    ),
+    # Analytics/HPC fleet: graph kernels plus XSBench.  Graph footprints
+    # derive from the rMat scale parameter, so only ops are scalable.
+    "analytics": (
+        ("pagerank", {"scale": 13, "ops_per_window": 100_000}),
+        ("bfs", {"scale": 13, "ops_per_window": 100_000}),
+        ("xsbench", {"num_pages": 16384, "ops_per_window": 20_000}),
+        ("graphsage", {"scale": 13, "ops_per_window": 50_000}),
+    ),
+    # Microbenchmark fleet: fast, used by tests and scale benchmarks.
+    "micro": (
+        ("masim", {"num_pages": 1024, "ops_per_window": 20_000}),
+    ),
+}
+
+
+def fleet_profile(name: str) -> tuple[tuple[str, dict], ...]:
+    """Look up a fleet workload profile by name."""
+    try:
+        return FLEET_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fleet profile {name!r}; "
+            f"available: {sorted(FLEET_PROFILES)}"
+        ) from None

@@ -32,6 +32,20 @@ def export_json(rows: Iterable[dict], path) -> Path:
     return path
 
 
+def export_jsonl(rows: Iterable[dict], path) -> Path:
+    """Write rows as JSON Lines (one object per line; streamable).
+
+    The fleet harness uses this for per-window event streams: JSONL
+    appends and greps cleanly, and each line is one (node, window) event.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for row in _normalise(rows):
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
 def export_csv(rows: Iterable[dict], path) -> Path:
     """Write rows as CSV (union of keys, blank for missing)."""
     rows = _normalise(rows)
@@ -58,10 +72,14 @@ def export_csv(rows: Iterable[dict], path) -> Path:
 
 
 def export(rows: Iterable[dict], path) -> Path:
-    """Dispatch on file suffix: ``.json`` or ``.csv``."""
+    """Dispatch on file suffix: ``.json``, ``.jsonl`` or ``.csv``."""
     path = Path(path)
     if path.suffix == ".json":
         return export_json(rows, path)
+    if path.suffix == ".jsonl":
+        return export_jsonl(rows, path)
     if path.suffix == ".csv":
         return export_csv(rows, path)
-    raise ValueError(f"unsupported export format {path.suffix!r} (json/csv)")
+    raise ValueError(
+        f"unsupported export format {path.suffix!r} (json/jsonl/csv)"
+    )

@@ -17,6 +17,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.bench.runner import run_policy
+from repro.core.seeding import child_seed
 
 
 def sweep(grid: dict[str, Iterable], windows: int = 10, seed: int = 0) -> list[dict]:
@@ -81,8 +82,13 @@ def replicate(
     slowdowns = []
     savings = []
     for seed in seeds:
+        # Each replica runs on a SeedSequence substream of its seed so
+        # adjacent replica seeds (0, 1, 2, ...) cannot produce the
+        # correlated workload/daemon streams that additive derivations
+        # like ``seed + 1`` would.
         summary = run_policy(
-            workload, policy, windows=windows, seed=seed, **kwargs
+            workload, policy, windows=windows, seed=child_seed(seed, 0),
+            **kwargs,
         )
         slowdowns.append(100 * summary.slowdown)
         savings.append(100 * summary.tco_savings)

@@ -114,6 +114,14 @@ def cmd_list(_args) -> int:
         {"experiment": name, "description": desc}
         for name, (_, desc) in EXPERIMENTS.items()
     ]
+    rows.append(
+        {
+            "experiment": "fleet",
+            "description": (
+                "Multi-node fleet simulation (subcommand: repro fleet)"
+            ),
+        }
+    )
     print(format_table(rows, title="Available experiments"))
     return 0
 
@@ -122,9 +130,10 @@ def cmd_run(args) -> int:
     try:
         driver, _ = EXPERIMENTS[args.experiment]
     except KeyError:
+        valid = ", ".join(sorted(EXPERIMENTS))
         print(
-            f"unknown experiment {args.experiment!r}; "
-            f"try: python -m repro list",
+            f"unknown experiment {args.experiment!r}; valid names: {valid}\n"
+            f"(fleet simulation is its own subcommand: python -m repro fleet)",
             file=sys.stderr,
         )
         return 2
@@ -184,6 +193,68 @@ def cmd_validate(args) -> int:
         all_passed &= result.passed
     print("\nartifact claims:", "ALL PASS" if all_passed else "FAILURES")
     return 0 if all_passed else 1
+
+
+def cmd_fleet(args) -> int:
+    from repro.fleet import (
+        FleetRunner,
+        FleetScheduler,
+        FleetSpec,
+        SolverServiceConfig,
+        fleet_rollup,
+        node_rows,
+        slowdown_distribution,
+    )
+    from repro.fleet.metrics import export_fleet_events, solver_tax_rows
+
+    try:
+        spec = FleetSpec(
+            nodes=args.nodes,
+            profile=args.profile,
+            mix=args.mix,
+            policy=args.policy,
+            windows=args.windows,
+            seed=args.seed,
+        )
+        service = SolverServiceConfig(
+            deployment=args.solver,
+            servers=args.servers,
+            timeout_ms=args.timeout_ms,
+        )
+        scheduler = (
+            FleetScheduler(budget_alpha=args.dram_budget)
+            if args.dram_budget is not None
+            else None
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"invalid fleet configuration: {message}", file=sys.stderr)
+        return 2
+    runner = FleetRunner(
+        spec, jobs=args.jobs, service=service, scheduler=scheduler
+    )
+    result = runner.run()
+
+    print(format_table(node_rows(result), title=f"Fleet nodes ({args.nodes})"))
+    rollup = fleet_rollup(result)
+    print(format_table([rollup], title="Fleet rollup"))
+    dist = slowdown_distribution(result)
+    print(format_table([dist], title="Slowdown distribution (pct)"))
+    if args.solver == "remote" or any(n.stats.requests for n in result.nodes):
+        print(
+            format_table(
+                solver_tax_rows(result), title="Solver-service tax per node"
+            )
+        )
+    print(
+        f"aggregate: {rollup['tco_savings_pct']:.1f} % TCO saved "
+        f"(${rollup['saved_per_month']:,.0f}/month on "
+        f"{rollup['fleet_mem_gb']:,.0f} GB), "
+        f"{result.jobs} job(s), {result.wall_s:.1f} s wall"
+    )
+    path = export_fleet_events(result, args.out)
+    print(f"per-window events written to {path}")
+    return 0
 
 
 def cmd_workloads(_args) -> int:
@@ -246,6 +317,54 @@ def build_parser() -> argparse.ArgumentParser:
     policy.add_argument("--alpha", type=float, default=None)
     policy.add_argument("--seed", type=int, default=0)
     policy.set_defaults(func=cmd_policy)
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate a fleet of tiered-memory nodes in parallel"
+    )
+    fleet.add_argument("--nodes", type=int, default=4, help="fleet size")
+    fleet.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    fleet.add_argument(
+        "--mix", default="standard", help="tier mix: standard|spectrum|single"
+    )
+    fleet.add_argument(
+        "--profile",
+        default="standard",
+        help="workload profile: standard|kv|analytics|micro",
+    )
+    fleet.add_argument(
+        "--policy", default="am-tco", help="placement policy for every node"
+    )
+    fleet.add_argument("--windows", type=int, default=6)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--solver",
+        default="local",
+        choices=("local", "remote"),
+        help="solver service deployment (remote = shared, queued)",
+    )
+    fleet.add_argument(
+        "--servers", type=int, default=1, help="shared-solver parallelism"
+    )
+    fleet.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=50.0,
+        help="service deadline before falling back to on-box greedy",
+    )
+    fleet.add_argument(
+        "--dram-budget",
+        type=float,
+        default=None,
+        help="global alpha budget; allocates per-node knobs when set",
+    )
+    fleet.add_argument(
+        "--out",
+        default="fleet_events.jsonl",
+        help="per-window event export path (.jsonl/.json/.csv)",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     sub.add_parser("workloads", help="print the workload registry").set_defaults(
         func=cmd_workloads

@@ -76,14 +76,21 @@ class _LatencyAccumulator:
             self.weights.append(weight)
 
     def percentile(self, p: float) -> float:
+        if not self.values:
+            return 0.0
         return weighted_percentile(
             np.array(self.values), np.array(self.weights), p
         )
 
     def mean(self) -> float:
+        if not self.values:
+            return 0.0
         values = np.array(self.values)
         weights = np.array(self.weights, dtype=np.float64)
-        return float((values * weights).sum() / weights.sum())
+        total = weights.sum()
+        if total == 0:
+            return 0.0
+        return float((values * weights).sum() / total)
 
 
 class TSDaemon:
@@ -220,13 +227,9 @@ class TSDaemon:
             slowdown=clock.slowdown,
             tco_savings=float(np.mean(savings)) if savings else 0.0,
             final_tco_savings=savings[-1] if savings else 0.0,
-            avg_latency_ns=self._latencies.mean() if self._latencies.values else 0.0,
-            p95_latency_ns=(
-                self._latencies.percentile(95.0) if self._latencies.values else 0.0
-            ),
-            p999_latency_ns=(
-                self._latencies.percentile(99.9) if self._latencies.values else 0.0
-            ),
+            avg_latency_ns=self._latencies.mean(),
+            p95_latency_ns=self._latencies.percentile(95.0),
+            p999_latency_ns=self._latencies.percentile(99.9),
             total_faults=total_faults,
             migration_ns=clock.migration_ns,
             solver_ns=self.model.solver_ns,
@@ -238,5 +241,8 @@ class TSDaemon:
                 "accesses": clock.total_accesses,
                 "migration_serial_ns": self.engine.stats.serial_ns,
                 "pages_migrated": self.engine.stats.pages_moved,
+                # Models routed through a shared solver service expose
+                # their queueing separately (repro.fleet.service).
+                "solver_queue_ns": float(getattr(self.model, "queue_ns", 0.0)),
             },
         )

@@ -80,6 +80,31 @@ def project_fleet_savings(
     )
 
 
+def project_fleet_nodes(
+    nodes,
+    dram_price_per_gb_month: float = DEFAULT_DRAM_PRICE,
+) -> FleetProjection:
+    """Aggregate heterogeneous per-node results into one fleet projection.
+
+    Args:
+        nodes: Iterable of ``(memory_gb, tco_savings, slowdown)`` tuples,
+            one per node.  Savings and slowdown are weighted by each
+            node's provisioned memory (big nodes dominate the bill).
+        dram_price_per_gb_month: Amortized DRAM unit price.
+    """
+    nodes = list(nodes)
+    if not nodes:
+        raise ValueError("need at least one node")
+    total_gb = sum(gb for gb, _, _ in nodes)
+    if total_gb <= 0:
+        raise ValueError("fleet memory must be positive")
+    savings = sum(gb * max(0.0, s) for gb, s, _ in nodes) / total_gb
+    slowdown = sum(gb * max(0.0, d) for gb, _, d in nodes) / total_gb
+    return project_fleet_savings(
+        min(1.0, savings), slowdown, total_gb, dram_price_per_gb_month
+    )
+
+
 def compare_policies(
     summaries,
     fleet_memory_gb: float,

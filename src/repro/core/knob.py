@@ -55,6 +55,16 @@ class Knob:
         return tco_min + self.alpha * (tco_max - tco_min)
 
     @classmethod
+    def clamped(cls, alpha: float) -> "Knob":
+        """A knob with ``alpha`` clamped into ``[0, 1]``.
+
+        Schedulers that do arithmetic on alpha (water-filling,
+        rebalancing) use this instead of risking the constructor's
+        range check on floating-point spill.
+        """
+        return cls(min(1.0, max(0.0, alpha)))
+
+    @classmethod
     def am_tco(cls) -> "Knob":
         """The paper's AM-TCO preset."""
         return cls(AM_TCO_ALPHA)

@@ -80,6 +80,15 @@ class SLOController:
         """Windows whose measured slowdown exceeded the target."""
         return sum(1 for _, s in self.history if s > self.target_slowdown)
 
+    @property
+    def headroom(self) -> float:
+        """Slack under the SLA at the last observation (negative when
+        violating); fleet schedulers harvest alpha from high-headroom
+        nodes first."""
+        if not self.history:
+            return self.target_slowdown
+        return self.target_slowdown - self.history[-1][1]
+
 
 def run_sla_tuned(
     system,

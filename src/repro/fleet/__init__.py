@@ -1,0 +1,41 @@
+"""Fleet simulation: many tiered-memory nodes, one solver service.
+
+The paper's headline claim is about *fleet* TCO (memory is 33-50 % of
+server cost at datacenter scale), and its §8.4 / Figure 14 measures the
+tax of running the placement ILP on a remote solver.  This package lifts
+the single-node reproduction to that level:
+
+* :mod:`repro.fleet.spec` -- declarative fleet description (node count,
+  workload profile, per-node scale, spawned seeds),
+* :mod:`repro.fleet.service` -- the shared solver service: queueing +
+  solve accounting and the timeout-to-greedy fallback,
+* :mod:`repro.fleet.scheduler` -- global-DRAM-budget alpha allocation,
+* :mod:`repro.fleet.runner` -- parallel node execution
+  (:class:`~concurrent.futures.ProcessPoolExecutor`) with a
+  deterministic result merge,
+* :mod:`repro.fleet.metrics` -- fleet rollup tables, dollar projection
+  and per-window JSONL event export.
+
+Entry points: ``python -m repro fleet`` and
+``examples/fleet_simulation.py``.
+"""
+
+from repro.fleet.metrics import fleet_rollup, node_rows, slowdown_distribution
+from repro.fleet.runner import FleetResult, FleetRunner, NodeResult
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.service import ServicedAnalyticalModel, SolverServiceConfig
+from repro.fleet.spec import FleetSpec, NodeSpec
+
+__all__ = [
+    "FleetResult",
+    "FleetRunner",
+    "FleetScheduler",
+    "FleetSpec",
+    "NodeResult",
+    "NodeSpec",
+    "ServicedAnalyticalModel",
+    "SolverServiceConfig",
+    "fleet_rollup",
+    "node_rows",
+    "slowdown_distribution",
+]

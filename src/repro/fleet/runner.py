@@ -1,0 +1,221 @@
+"""Parallel fleet execution with a deterministic result merge.
+
+Every node of the fleet is an independent simulation (its own address
+space, tier mix, daemon and workload stream), so nodes parallelise
+perfectly across worker processes.  All cross-node coupling -- solver-
+service queueing, the alpha scheduler -- is modeled in *virtual time*
+from the fleet spec alone, which is what makes ``jobs=1`` and ``jobs=J``
+produce bit-identical per-node :class:`~repro.core.metrics.RunSummary`
+values: the merge just reassembles results in node order.
+
+Workers are dispatched in chunks (``chunksize``) so a large fleet does
+not pay one IPC round trip per node.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.bench.runner import build_system, make_policy
+from repro.core.daemon import TSDaemon
+from repro.core.knob import Knob
+from repro.core.metrics import RunSummary
+from repro.core.seeding import child_seed
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.service import (
+    ServicedAnalyticalModel,
+    ServiceEvent,
+    ServiceStats,
+    SolverServiceConfig,
+)
+from repro.fleet.spec import FleetSpec, NodeSpec
+from repro.workloads.registry import make_workload
+
+#: Policies that route their ILP through the solver service.
+_ANALYTICAL = ("am", "am-tco", "am-perf")
+
+
+@dataclass
+class NodeResult:
+    """Everything one node brings back from its worker.
+
+    Attributes:
+        spec: The node's spec (identity, workload, seed).
+        summary: Deterministic run summary (identical for any ``jobs``).
+        stats: Solver-service accounting (modeled queue/solve/rtt plus
+            measured wall time; empty for non-analytical policies).
+        events: Per-window solver-service events.
+        window_rows: Flat per-window rows for the JSONL event export.
+    """
+
+    spec: NodeSpec
+    summary: RunSummary
+    stats: ServiceStats = field(default_factory=ServiceStats)
+    events: list[ServiceEvent] = field(default_factory=list)
+    window_rows: list[dict] = field(default_factory=list)
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of one fleet run.
+
+    Attributes:
+        spec: The fleet spec that was executed.
+        nodes: Per-node results, in node-id order.
+        jobs: Worker processes used.
+        wall_s: Real wall-clock seconds of the execution phase.
+    """
+
+    spec: FleetSpec
+    nodes: list[NodeResult]
+    jobs: int
+    wall_s: float
+
+    @property
+    def summaries(self) -> list[RunSummary]:
+        return [n.summary for n in self.nodes]
+
+
+def _make_node_model(spec: NodeSpec, service: SolverServiceConfig):
+    """Build the node's placement model, service-backed when analytical."""
+    if spec.policy in _ANALYTICAL:
+        if spec.policy == "am-tco":
+            knob, name = Knob.am_tco(), "AM-TCO"
+        elif spec.policy == "am-perf":
+            knob, name = Knob.am_perf(), "AM-perf"
+        else:
+            if spec.alpha is None:
+                raise ValueError("policy 'am' needs a per-node alpha")
+            knob, name = Knob(spec.alpha), None
+        return ServicedAnalyticalModel(
+            knob, service, node_id=spec.node_id, name=name
+        )
+    return make_policy(
+        spec.policy,
+        mix=spec.mix,
+        percentile=spec.percentile,
+        alpha=spec.alpha,
+    )
+
+
+def _run_node(payload: tuple[NodeSpec, SolverServiceConfig]) -> NodeResult:
+    """Worker entry point: simulate one node end to end.
+
+    Module-level (picklable) so :class:`ProcessPoolExecutor` can ship it;
+    also called inline for ``jobs=1``, guaranteeing both paths share one
+    code path for the determinism contract.
+    """
+    spec, service = payload
+    workload = make_workload(
+        spec.workload, seed=spec.seed, **spec.workload_kwargs
+    )
+    system = build_system(workload, mix=spec.mix, seed=spec.seed)
+    model = _make_node_model(spec, service)
+    daemon = TSDaemon(
+        system,
+        model,
+        sampling_rate=spec.sampling_rate,
+        seed=child_seed(spec.seed, 1),
+    )
+    summary = daemon.run(workload, spec.windows)
+    events = list(getattr(model, "events", ()))
+    stats = getattr(model, "stats", None) or ServiceStats()
+    window_rows = []
+    for record in daemon.records:
+        event = events[record.window] if record.window < len(events) else None
+        window_rows.append(
+            {
+                "node": spec.node_id,
+                "workload": workload.name,
+                "policy": summary.policy,
+                "window": record.window,
+                "tco_savings_pct": 100.0 * record.tco_savings,
+                "slowdown_proxy_ns": record.access_ns,
+                "faults": int(record.faults.sum()),
+                "migration_ms": record.migration_wall_ns / 1e6,
+                "solver_ms": record.solver_ns / 1e6,
+                "queue_ms": (event.queue_ns / 1e6) if event else 0.0,
+                "fallback": bool(event.fallback) if event else False,
+            }
+        )
+    return NodeResult(
+        spec=spec,
+        summary=summary,
+        stats=stats,
+        events=events,
+        window_rows=window_rows,
+    )
+
+
+class FleetRunner:
+    """Execute a fleet spec across worker processes.
+
+    Args:
+        spec: A prebuilt :class:`FleetSpec`; alternatively pass ``nodes``
+            plus any :class:`FleetSpec` field as keyword arguments
+            (``FleetRunner(nodes=8, profile="micro", windows=4)``).
+        jobs: Worker processes; 1 runs inline (no pool).
+        service: Solver-service deployment (default: local solvers).
+        scheduler: Optional :class:`FleetScheduler`; when given, node
+            specs are rewritten to per-node analytical knobs before
+            execution.
+        chunksize: Nodes per worker dispatch; default splits the fleet
+            into about two chunks per worker.
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec | None = None,
+        *,
+        nodes: int | None = None,
+        jobs: int = 1,
+        service: SolverServiceConfig | None = None,
+        scheduler: FleetScheduler | None = None,
+        chunksize: int | None = None,
+        **spec_kwargs,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if spec is None:
+            if nodes is None:
+                raise ValueError("pass a FleetSpec or nodes=N")
+            spec = FleetSpec(nodes=nodes, **spec_kwargs)
+        elif nodes is not None or spec_kwargs:
+            raise ValueError("pass either a FleetSpec or spec kwargs, not both")
+        self.spec = spec
+        self.jobs = jobs
+        self.service = service or SolverServiceConfig()
+        self.scheduler = scheduler
+        self.chunksize = chunksize
+
+    def node_specs(self) -> list[NodeSpec]:
+        """The expanded (and scheduler-adjusted) per-node specs."""
+        specs = self.spec.build()
+        if self.scheduler is not None:
+            specs = self.scheduler.apply(specs)
+        return specs
+
+    def run(self) -> FleetResult:
+        """Simulate every node and merge results in node order."""
+        payloads = [(s, self.service) for s in self.node_specs()]
+        jobs = min(self.jobs, len(payloads))
+        start = time.perf_counter()
+        if jobs == 1:
+            results = [_run_node(p) for p in payloads]
+        else:
+            chunksize = self.chunksize or max(
+                1, math.ceil(len(payloads) / (jobs * 2))
+            )
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                # Executor.map preserves input order, so the merge is
+                # deterministic no matter which worker finishes first.
+                results = list(
+                    pool.map(_run_node, payloads, chunksize=chunksize)
+                )
+        wall_s = time.perf_counter() - start
+        return FleetResult(
+            spec=self.spec, nodes=results, jobs=jobs, wall_s=wall_s
+        )

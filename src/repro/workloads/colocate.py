@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.data import page_compressibilities
+from repro.core.seeding import child_seed
 from repro.workloads.base import Workload
 
 
@@ -88,12 +89,15 @@ def composite_compressibility(
     Args:
         tenants: The co-located workloads, in mapping order.
         profiles: One compressibility profile name per tenant.
-        seed: Base RNG seed (tenant index is folded in).
+        seed: Base RNG seed (each tenant draws an independent
+            SeedSequence substream keyed by its index).
     """
     if len(tenants) != len(profiles):
         raise ValueError("need exactly one profile per tenant")
     parts = [
-        page_compressibilities(profile, tenant.num_pages, seed=seed + i)
+        page_compressibilities(
+            profile, tenant.num_pages, seed=child_seed(seed, i)
+        )
         for i, (tenant, profile) in enumerate(zip(tenants, profiles))
     ]
     return np.concatenate(parts)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.seeding import derive_rng
 from repro.workloads.base import Workload
 from repro.workloads.distributions import (
     GaussianGenerator,
@@ -71,8 +72,11 @@ class KVWorkload(Workload):
         self.distribution = distribution or ZipfianGenerator(self.num_keys)
         self.drift_per_window = drift_per_window
         self._drift_offset = 0
-        # Block-shuffled layout: rank -> key -> page.
-        layout_rng = np.random.default_rng(seed + 0x5EED)
+        # Block-shuffled layout: rank -> key -> page.  The layout draws
+        # from its own SeedSequence substream so it can never collide
+        # with another workload's access stream (as additive offsets
+        # like ``seed + 0x5EED`` could).
+        layout_rng = derive_rng(seed, 0x5EED)
         num_blocks = num_pages // layout_block_pages
         block_perm = layout_rng.permutation(num_blocks)
         page_perm = (

@@ -110,6 +110,88 @@ class TestWindowLoop:
         assert summary.extras["app_ns"] > 0
 
 
+class TestZeroWindowSummary:
+    def test_summary_after_zero_windows(self, system):
+        daemon = make_daemon(system)
+        summary = daemon.summary("empty")
+        assert summary.windows == 0
+        assert summary.avg_latency_ns == 0.0
+        assert summary.p95_latency_ns == 0.0
+        assert summary.p999_latency_ns == 0.0
+        assert summary.tco_savings == 0.0
+        assert summary.final_tco_savings == 0.0
+        assert summary.total_faults == 0
+
+    def test_empty_accumulator_guards(self):
+        from repro.core.daemon import _LatencyAccumulator
+
+        acc = _LatencyAccumulator()
+        assert acc.mean() == 0.0
+        assert acc.percentile(95.0) == 0.0
+        assert acc.percentile(99.9) == 0.0
+
+    def test_zero_weight_accumulator(self):
+        from repro.core.daemon import _LatencyAccumulator
+
+        acc = _LatencyAccumulator()
+        acc.extend([(10.0, 0)])
+        assert acc.mean() == 0.0
+
+    def test_no_numpy_warning_on_empty(self, system):
+        daemon = make_daemon(system)
+        with np.errstate(all="raise"):
+            summary = daemon.summary()
+        assert summary.avg_latency_ns == 0.0
+
+
+class TestFaultDeltaAccounting:
+    """Per-window fault deltas (``_prev_faults``) across many windows."""
+
+    def _forced_fault_daemon(self, system):
+        # An aggressive demote-everything policy with no recency filter
+        # guarantees compressed-tier faults every window: pages demoted
+        # to CT at window w fault back on access at window w+1.
+        return make_daemon(
+            system, StaticThresholdPolicy("CT", 90.0), recency_windows=0
+        )
+
+    def test_deltas_sum_to_cumulative(self, system):
+        daemon = self._forced_fault_daemon(system)
+        workload = small_workload(system.space.num_pages)
+        daemon.run(workload, 4)
+        assert len(daemon.records) >= 3
+        per_window = np.stack([r.faults for r in daemon.records])
+        cumulative = np.array([t.stats.faults for t in system.tiers])
+        assert (per_window.sum(axis=0) == cumulative).all()
+
+    def test_deltas_are_window_local(self, system):
+        daemon = self._forced_fault_daemon(system)
+        workload = small_workload(system.space.num_pages)
+        seen = []
+        for _ in range(4):
+            before = np.array([t.stats.faults for t in system.tiers])
+            record = daemon.run_window(
+                workload.next_window(), write_fraction=workload.write_fraction
+            )
+            after = np.array([t.stats.faults for t in system.tiers])
+            assert (record.faults == after - before).all()
+            assert (record.faults >= 0).all()
+            seen.append(int(record.faults.sum()))
+        # The forced-demotion pattern faults in multiple windows; the
+        # deltas must not double-count the cumulative counters.
+        assert sum(seen) == sum(t.stats.faults for t in system.tiers)
+        assert sum(1 for s in seen if s > 0) >= 3
+
+    def test_prev_faults_tracks_cumulative(self, system):
+        daemon = self._forced_fault_daemon(system)
+        workload = small_workload(system.space.num_pages)
+        daemon.run(workload, 3)
+        assert (
+            daemon._prev_faults
+            == np.array([t.stats.faults for t in system.tiers])
+        ).all()
+
+
 class TestMigrationEngine:
     def test_wall_time_scales_with_threads(self, system):
         engine1 = MigrationEngine(system, push_threads=1, recency_windows=0)

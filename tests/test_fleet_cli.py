@@ -1,0 +1,70 @@
+"""CLI coverage for the fleet subcommand and experiment-name errors."""
+
+from repro.cli import main
+
+
+class TestListCommand:
+    def test_list_includes_fleet(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out
+        assert "Multi-node" in out
+
+
+class TestUnknownExperiment:
+    def test_exit_code_2(self):
+        assert main(["run", "fig999"]) == 2
+
+    def test_valid_names_printed(self, capsys):
+        main(["run", "bogus"])
+        err = capsys.readouterr().err
+        assert "unknown experiment 'bogus'" in err
+        assert "valid names:" in err
+        assert "fig13" in err
+        assert "python -m repro fleet" in err
+
+
+class TestFleetCommand:
+    def test_end_to_end(self, capsys, tmp_path):
+        out_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "fleet",
+                "--nodes", "2",
+                "--profile", "micro",
+                "--windows", "2",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fleet nodes (2)" in out
+        assert "Fleet rollup" in out
+        assert "Slowdown distribution" in out
+        assert "aggregate:" in out
+        assert str(out_path) in out
+        assert out_path.exists()
+        assert len(out_path.read_text().strip().splitlines()) == 2 * 2
+
+    def test_invalid_configuration_exits_2(self, capsys):
+        assert main(["fleet", "--nodes", "0"]) == 2
+        assert "invalid fleet configuration" in capsys.readouterr().err
+        assert main(["fleet", "--nodes", "2", "--profile", "nope"]) == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_remote_solver_with_budget(self, capsys, tmp_path):
+        code = main(
+            [
+                "fleet",
+                "--nodes", "3",
+                "--profile", "micro",
+                "--windows", "2",
+                "--solver", "remote",
+                "--timeout-ms", "15",
+                "--dram-budget", "0.5",
+                "--out", str(tmp_path / "events.jsonl"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Solver-service tax per node" in out
