@@ -6,6 +6,10 @@
   runs the daemon, returning a :class:`repro.core.metrics.RunSummary`.
 * :mod:`repro.bench.experiments` -- one driver per table/figure.
 * :mod:`repro.bench.reporting` -- plain-text table/series printers.
+
+The runner symbols are re-exported lazily: ``repro.bench.runner`` is a
+thin shim over :mod:`repro.engine`, which itself imports
+``repro.bench.configs``, so an eager import here would be circular.
 """
 
 from repro.bench.configs import (
@@ -15,7 +19,6 @@ from repro.bench.configs import (
     spectrum_mix,
     standard_mix,
 )
-from repro.bench.runner import build_system, make_policy, run_policy
 from repro.bench.reporting import format_series, format_table
 
 __all__ = [
@@ -30,3 +33,13 @@ __all__ = [
     "spectrum_mix",
     "standard_mix",
 ]
+
+_RUNNER_EXPORTS = ("build_system", "make_policy", "run_policy")
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.bench import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,59 @@
+"""Figure 2 -- characterization of the 12 compressed tiers.
+
+This driver measures codecs directly on synthetic corpora: there is no
+window loop and no placement policy, so it is the one figure that
+legitimately bypasses ``repro.engine`` (see ``bench/experiments.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import configs
+from repro.compression.base import Codec
+from repro.compression.data import make_corpus
+from repro.compression.registry import reference_codec
+from repro.mem.page import PAGE_SIZE
+
+
+def _measure_dataset(codec: Codec, data: bytes) -> tuple[float, list[int]]:
+    """Per-page compressed sizes and mean ratio of ``data`` under ``codec``."""
+    sizes = []
+    for start in range(0, len(data) - PAGE_SIZE + 1, PAGE_SIZE):
+        page = data[start : start + PAGE_SIZE]
+        blob = codec.compress(page)
+        sizes.append(min(len(blob), PAGE_SIZE))  # zswap caps at a page
+    ratio = float(np.mean(sizes)) / PAGE_SIZE
+    return ratio, sizes
+
+
+def fig02_characterization(
+    pages_per_dataset: int = 64, seed: int = 0
+) -> list[dict]:
+    """Access latency and TCO savings of tiers C1-C12 on nci/dickens-like
+    corpora (paper Figure 2a/2b)."""
+    datasets = {
+        kind: make_corpus(kind, pages_per_dataset * PAGE_SIZE, seed=seed)
+        for kind in ("nci", "dickens")
+    }
+    rows = []
+    for index in range(1, 13):
+        label = configs.characterization_label(index)
+        row: dict = {"tier": f"C{index}", "config": label}
+        for kind, data in datasets.items():
+            # Fresh tier per dataset so pool occupancy is per-dataset.
+            tier = configs.characterization_tiers()[index - 1]
+            codec = reference_codec(tier.algorithm.name)
+            ratio, sizes = _measure_dataset(codec, data)
+            for size in sizes:
+                tier.allocator.store(size)
+            pool_cost = tier.used_pages * tier.media.cost_per_page
+            dram_cost = pages_per_dataset * configs.DRAM.cost_per_page
+            # Latency uses the measured mean ratio so backing-media
+            # streaming reflects the dataset.
+            latency = tier.fault_latency_ns(intrinsic=max(0.02, min(1.0, ratio)))
+            row[f"{kind}_latency_us"] = latency / 1000.0
+            row[f"{kind}_ratio"] = ratio
+            row[f"{kind}_tco_savings_pct"] = 100 * (1 - pool_cost / dram_cost)
+        rows.append(row)
+    return rows

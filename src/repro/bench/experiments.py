@@ -1,9 +1,18 @@
 """One driver per paper table/figure (see DESIGN.md's experiment index).
 
-Every driver returns structured results (lists of dict rows or per-window
-series) and is deterministic for a given seed.  The ``benchmarks/`` suite
-wraps these in pytest-benchmark targets and prints the paper-shaped output;
-``EXPERIMENTS.md`` records paper-vs-measured for each.
+Every simulator-driven experiment is a
+:class:`~repro.engine.spec.ScenarioSpec` (or a small list of specs) run
+through :class:`~repro.engine.session.Session`, plus a short
+post-processing step that shapes rows the way the figure needs them.
+Drivers return structured results (lists of dict rows or per-window
+series) and are deterministic for a given seed.  The ``benchmarks/``
+suite wraps these in pytest-benchmark targets and prints the
+paper-shaped output; ``EXPERIMENTS.md`` records paper-vs-measured.
+
+Two drivers do not spin the window loop at all and therefore bypass the
+engine: ``fig02_characterization`` measures codecs directly (it lives in
+:mod:`repro.bench.characterization` and is re-exported here), and the
+table drivers just print registries.
 
 Defaults are sized to finish in seconds per driver; every driver takes
 scale parameters for larger runs.
@@ -14,11 +23,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench import configs
-from repro.bench.runner import run_policy
-from repro.compression.base import Codec
-from repro.compression.data import make_corpus
-from repro.compression.registry import reference_codec
-from repro.mem.page import PAGE_SIZE
+from repro.bench.characterization import fig02_characterization  # noqa: F401
+from repro.core.metrics import RunSummary
+from repro.engine import NullModel, ScenarioSpec, Session, make_policy
 from repro.workloads.registry import workload_table
 
 #: The six policies of the standard-mix comparison (Figure 7 legend).
@@ -35,10 +42,29 @@ EVAL_WORKLOADS = (
     "graphsage",
 )
 
+#: Aggressiveness settings (§8.3): percentile for threshold policies,
+#: alpha for the analytical model.
+AGGRESSIVENESS = {
+    "C": {"percentile": 25.0, "alpha": 0.9},
+    "M": {"percentile": 50.0, "alpha": 0.5},
+    "A": {"percentile": 75.0, "alpha": 0.1},
+}
 
-# ---------------------------------------------------------------------------
-# Figure 1 -- motivation: aggressiveness on a single compressed tier
-# ---------------------------------------------------------------------------
+
+def _run(spec: ScenarioSpec, **overrides) -> tuple[RunSummary, Session]:
+    """Run one scenario; returns ``(summary, session)``."""
+    session = Session(spec, **overrides)
+    return session.run(), session
+
+
+def _pct_row(summary: RunSummary, **extra) -> dict:
+    """The slowdown/TCO row most figures share."""
+    return {
+        **extra,
+        "slowdown_pct": 100 * summary.slowdown,
+        "tco_savings_pct": 100 * summary.tco_savings,
+    }
+
 
 def fig01_motivation(
     fractions=(20, 50, 80), windows: int = 10, seed: int = 0
@@ -47,74 +73,17 @@ def fig01_motivation(
     into a single compressed tier (paper Figure 1)."""
     rows = []
     for fraction in fractions:
-        summary = run_policy(
-            "memcached-ycsb",
-            policy="gswap",
-            mix="single",
-            windows=windows,
-            percentile=float(fraction),
-            seed=seed,
-        )
-        rows.append(
-            {
-                "placed_pct": fraction,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "slowdown_pct": 100 * summary.slowdown,
-            }
-        )
+        summary, _ = _run(ScenarioSpec(
+            policy="gswap", mix="single", windows=windows,
+            percentile=float(fraction), seed=seed,
+        ))
+        rows.append({
+            "placed_pct": fraction,
+            "tco_savings_pct": 100 * summary.tco_savings,
+            "slowdown_pct": 100 * summary.slowdown,
+        })
     return rows
 
-
-# ---------------------------------------------------------------------------
-# Figure 2 -- characterization of the 12 compressed tiers
-# ---------------------------------------------------------------------------
-
-def _measure_dataset(codec: Codec, data: bytes) -> tuple[float, list[int]]:
-    """Per-page compressed sizes and mean ratio of ``data`` under ``codec``."""
-    sizes = []
-    for start in range(0, len(data) - PAGE_SIZE + 1, PAGE_SIZE):
-        page = data[start : start + PAGE_SIZE]
-        blob = codec.compress(page)
-        sizes.append(min(len(blob), PAGE_SIZE))  # zswap caps at a page
-    ratio = float(np.mean(sizes)) / PAGE_SIZE
-    return ratio, sizes
-
-
-def fig02_characterization(
-    pages_per_dataset: int = 64, seed: int = 0
-) -> list[dict]:
-    """Access latency and TCO savings of tiers C1-C12 on nci/dickens-like
-    corpora (paper Figure 2a/2b)."""
-    datasets = {
-        kind: make_corpus(kind, pages_per_dataset * PAGE_SIZE, seed=seed)
-        for kind in ("nci", "dickens")
-    }
-    rows = []
-    for index in range(1, 13):
-        label = configs.characterization_label(index)
-        row: dict = {"tier": f"C{index}", "config": label}
-        for kind, data in datasets.items():
-            # Fresh tier per dataset so pool occupancy is per-dataset.
-            tier = configs.characterization_tiers()[index - 1]
-            codec = reference_codec(tier.algorithm.name)
-            ratio, sizes = _measure_dataset(codec, data)
-            for size in sizes:
-                tier.allocator.store(size)
-            pool_cost = tier.used_pages * tier.media.cost_per_page
-            dram_cost = pages_per_dataset * configs.DRAM.cost_per_page
-            # Latency uses the measured mean ratio so backing-media
-            # streaming reflects the dataset.
-            latency = tier.fault_latency_ns(intrinsic=max(0.02, min(1.0, ratio)))
-            row[f"{kind}_latency_us"] = latency / 1000.0
-            row[f"{kind}_ratio"] = ratio
-            row[f"{kind}_tco_savings_pct"] = 100 * (1 - pool_cost / dram_cost)
-        rows.append(row)
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# Figure 7 -- standard mix: slowdown vs TCO savings, all workloads
-# ---------------------------------------------------------------------------
 
 def fig07_standard_mix(
     workloads=EVAL_WORKLOADS,
@@ -127,34 +96,23 @@ def fig07_standard_mix(
     rows = []
     for workload in workloads:
         for policy in policies:
-            summary = run_policy(
-                workload, policy, mix="standard", windows=windows, seed=seed
-            )
+            summary, _ = _run(ScenarioSpec(
+                workload=workload, policy=policy, windows=windows, seed=seed))
             summary.workload = workload  # registry name, not instance name
             rows.append(summary.row())
     return rows
 
 
-# ---------------------------------------------------------------------------
-# Figures 8 and 9 -- per-window placement traces for Memcached/YCSB
-# ---------------------------------------------------------------------------
-
 def fig08_waterfall_trace(windows: int = 15, seed: int = 0) -> dict:
     """Waterfall placement recommendations per window plus the TCO trend
     (paper Figure 8)."""
-    summary, daemon = run_policy(
-        "memcached-ycsb",
-        "waterfall",
-        mix="standard",
-        windows=windows,
-        seed=seed,
-        return_daemon=True,
-    )
-    tier_names = [t.name for t in daemon.system.tiers]
+    summary, session = _run(ScenarioSpec(
+        policy="waterfall", windows=windows, seed=seed,
+    ))
     return {
-        "tiers": tier_names,
-        "placement_per_window": [r.placement.tolist() for r in daemon.records],
-        "tco_savings_per_window": [r.tco_savings for r in daemon.records],
+        "tiers": [t.name for t in session.system.tiers],
+        "placement_per_window": [r.placement.tolist() for r in session.records],
+        "tco_savings_per_window": [r.tco_savings for r in session.records],
         "summary": summary,
     }
 
@@ -169,38 +127,27 @@ def fig09_analytical_trace(
     recommendation keeps only a small DRAM share, matching the paper's
     "less than 5 % of data in DRAM" trace.
     """
-    summary, daemon = run_policy(
-        "memcached-ycsb",
-        "am",
-        alpha=alpha,
-        mix="standard",
-        windows=windows,
-        seed=seed,
-        return_daemon=True,
-    )
-    tier_names = [t.name for t in daemon.system.tiers]
-    pages_per_region = daemon.system.space.num_pages // daemon.system.space.num_regions
-    cumulative_faults = np.cumsum(
-        [r.faults.tolist() for r in daemon.records], axis=0
-    )
+    summary, session = _run(ScenarioSpec(
+        policy="am", alpha=alpha, windows=windows, seed=seed,
+    ))
+    space = session.system.space
+    pages_per_region = space.num_pages // space.num_regions
+    records = session.records
+    cumulative_faults = np.cumsum([r.faults.tolist() for r in records], axis=0)
     return {
-        "tiers": tier_names,
+        "tiers": [t.name for t in session.system.tiers],
         "recommended_regions_per_window": [
-            r.recommended.tolist() for r in daemon.records
+            r.recommended.tolist() for r in records
         ],
         "recommended_pages_per_window": [
-            (r.recommended * pages_per_region).tolist() for r in daemon.records
+            (r.recommended * pages_per_region).tolist() for r in records
         ],
-        "actual_pages_per_window": [r.placement.tolist() for r in daemon.records],
+        "actual_pages_per_window": [r.placement.tolist() for r in records],
         "cumulative_faults": cumulative_faults.tolist(),
-        "tco_savings_per_window": [r.tco_savings for r in daemon.records],
+        "tco_savings_per_window": [r.tco_savings for r in records],
         "summary": summary,
     }
 
-
-# ---------------------------------------------------------------------------
-# Figure 10 -- knob sweep
-# ---------------------------------------------------------------------------
 
 def fig10_knob_sweep(
     alphas=(0.1, 0.3, 0.5, 0.7, 0.9),
@@ -212,32 +159,18 @@ def fig10_knob_sweep(
     Memcached/YCSB (paper Figure 10)."""
     rows = []
     for alpha in alphas:
-        summary = run_policy(
-            "memcached-ycsb",
-            "am",
-            alpha=alpha,
-            mix="standard",
-            windows=windows,
-            seed=seed,
-        )
+        summary, _ = _run(ScenarioSpec(
+            policy="am", alpha=alpha, windows=windows, seed=seed,
+        ))
         rows.append({"config": f"AM(a={alpha:g})", **summary.row()})
     for policy in ("hemem", "gswap", "tmo", "waterfall"):
         for pct in thresholds:
-            summary = run_policy(
-                "memcached-ycsb",
-                policy,
-                percentile=pct,
-                mix="standard",
-                windows=windows,
-                seed=seed,
-            )
+            summary, _ = _run(ScenarioSpec(
+                policy=policy, percentile=pct, windows=windows, seed=seed,
+            ))
             rows.append({"config": f"{summary.policy}@{pct:g}", **summary.row()})
     return rows
 
-
-# ---------------------------------------------------------------------------
-# Figure 11 -- Redis tail latencies
-# ---------------------------------------------------------------------------
 
 def fig11_tail_latency(
     policies=STANDARD_POLICIES,
@@ -257,36 +190,17 @@ def fig11_tail_latency(
 
     rows = []
     for policy in policies:
-        summary = run_policy(
-            "redis-ycsb",
-            policy,
-            mix="standard",
-            windows=windows,
-            percentile=percentile,
-            seed=seed,
-        )
-        rows.append(
-            {
-                "policy": summary.policy,
-                "avg_norm": summary.avg_latency_ns / DRAM.read_ns,
-                "p95_norm": summary.p95_latency_ns / DRAM.read_ns,
-                "p999_norm": summary.p999_latency_ns / DRAM.read_ns,
-            }
-        )
+        summary, _ = _run(ScenarioSpec(
+            workload="redis-ycsb", policy=policy, windows=windows,
+            percentile=percentile, seed=seed,
+        ))
+        rows.append({
+            "policy": summary.policy,
+            "avg_norm": summary.avg_latency_ns / DRAM.read_ns,
+            "p95_norm": summary.p95_latency_ns / DRAM.read_ns,
+            "p999_norm": summary.p999_latency_ns / DRAM.read_ns,
+        })
     return rows
-
-
-# ---------------------------------------------------------------------------
-# Figures 12 and 13 -- the 6-tier spectrum
-# ---------------------------------------------------------------------------
-
-#: Aggressiveness settings (§8.3): percentile for threshold policies,
-#: alpha for the analytical model.
-AGGRESSIVENESS = {
-    "C": {"percentile": 25.0, "alpha": 0.9},
-    "M": {"percentile": 50.0, "alpha": 0.5},
-    "A": {"percentile": 75.0, "alpha": 0.1},
-}
 
 
 def fig12_spectrum_placement(windows: int = 12, seed: int = 0) -> list[dict]:
@@ -295,21 +209,16 @@ def fig12_spectrum_placement(windows: int = 12, seed: int = 0) -> list[dict]:
     rows = []
     for model_kind in ("waterfall", "am"):
         for level, params in AGGRESSIVENESS.items():
-            summary, daemon = run_policy(
-                "memcached-ycsb",
-                model_kind,
-                mix="spectrum",
-                windows=windows,
-                percentile=params["percentile"],
-                alpha=params["alpha"],
+            summary, session = _run(ScenarioSpec(
+                policy=model_kind, mix="spectrum", windows=windows,
+                percentile=params["percentile"], alpha=params["alpha"],
                 seed=seed,
-                return_daemon=True,
-            )
-            last = daemon.records[-1]
+            ))
+            last = session.records[-1]
             short = "WF" if model_kind == "waterfall" else "AM"
             row = {"config": f"{short}-{level}"}
             for name, pages in zip(
-                [t.name for t in daemon.system.tiers], last.placement
+                [t.name for t in session.system.tiers], last.placement
             ):
                 row[name] = int(pages)
             row["tco_savings_pct"] = 100 * summary.final_tco_savings
@@ -326,29 +235,16 @@ def fig13_spectrum(
     for workload in workloads:
         for policy, short in (("gswap", "GS"), ("waterfall", "WF"), ("am", "AM")):
             for level, params in AGGRESSIVENESS.items():
-                summary = run_policy(
-                    workload,
-                    policy,
-                    mix="spectrum",
-                    windows=windows,
-                    percentile=params["percentile"],
-                    alpha=params["alpha"],
-                    seed=seed,
-                )
-                rows.append(
-                    {
-                        "workload": workload,
-                        "config": f"{short}-{level}",
-                        "slowdown_pct": 100 * summary.slowdown,
-                        "tco_savings_pct": 100 * summary.tco_savings,
-                    }
-                )
+                summary, _ = _run(ScenarioSpec(
+                    workload=workload, policy=policy, mix="spectrum",
+                    windows=windows, percentile=params["percentile"],
+                    alpha=params["alpha"], seed=seed,
+                ))
+                rows.append(_pct_row(
+                    summary, workload=workload, config=f"{short}-{level}",
+                ))
     return rows
 
-
-# ---------------------------------------------------------------------------
-# Figure 14 -- TierScape tax
-# ---------------------------------------------------------------------------
 
 def fig14_tax(windows: int = 10, seed: int = 0) -> list[dict]:
     """Daemon overhead (profiling + modeling + migration) for AM-TCO and
@@ -359,60 +255,36 @@ def fig14_tax(windows: int = 10, seed: int = 0) -> list[dict]:
         for remote in (False, True):
             configurations.append((preset, preset, remote))
 
+    base = ScenarioSpec(workload="memcached-memtier", windows=windows, seed=seed)
     for label, preset, remote in configurations:
         if label == "baseline":
-            summary = run_policy(
-                "memcached-memtier",
-                _NullModel(),
-                windows=windows,
-                seed=seed,
-                sampling_rate=10**9,  # effectively no profiling
+            # Effectively no profiling.
+            summary, _ = _run(
+                base.with_(sampling_rate=10**9), policy=NullModel()
             )
             tax_ns = 0.0
         elif label == "only-profiling":
-            summary = run_policy(
-                "memcached-memtier", _NullModel(), windows=windows, seed=seed
-            )
+            summary, _ = _run(base, policy=NullModel())
             tax_ns = summary.profiling_ns
         else:
-            from repro.bench.runner import make_policy
-
             policy = make_policy(preset)
             policy.remote = remote
-            summary = run_policy(
-                "memcached-memtier", policy, windows=windows, seed=seed
-            )
+            summary, _ = _run(base, policy=policy)
             tax_ns = summary.profiling_ns + summary.migration_ns
             if not remote:
                 tax_ns += summary.solver_ns
             label = f"{policy.name}-{'Remote' if remote else 'Local'}"
         app_ns = max(1.0, summary.extras.get("app_ns", 1.0))
-        rows.append(
-            {
-                "config": label,
-                "tax_pct_of_app": 100 * tax_ns / app_ns,
-                "profiling_ms": summary.profiling_ns / 1e6,
-                "solver_ms": summary.solver_ns / 1e6,
-                "migration_ms": summary.migration_ns / 1e6,
-                "slowdown_pct": 100 * summary.slowdown,
-            }
-        )
+        rows.append({
+            "config": label,
+            "tax_pct_of_app": 100 * tax_ns / app_ns,
+            "profiling_ms": summary.profiling_ns / 1e6,
+            "solver_ms": summary.solver_ns / 1e6,
+            "migration_ms": summary.migration_ns / 1e6,
+            "slowdown_pct": 100 * summary.slowdown,
+        })
     return rows
 
-
-class _NullModel:
-    """Placement model that never moves anything (baseline/profiling-only)."""
-
-    name = "baseline"
-    solver_ns = 0.0
-
-    def recommend(self, record, system) -> dict[int, int]:
-        return {}
-
-
-# ---------------------------------------------------------------------------
-# Tables
-# ---------------------------------------------------------------------------
 
 def tab01_option_space() -> list[dict]:
     """Table 1: the 63-tier option space."""
@@ -427,41 +299,22 @@ def tab02_workloads() -> list[dict]:
     return workload_table()
 
 
-# ---------------------------------------------------------------------------
-# Ablations (DESIGN.md §5)
-# ---------------------------------------------------------------------------
-
 def ablation_filter(windows: int = 10, seed: int = 0) -> list[dict]:
     """Migration filter on vs off (pressure avoidance ablation)."""
     from repro.core.placement.filter import MigrationFilter
-    from repro.bench.runner import build_system, make_policy
-    from repro.core.daemon import TSDaemon
-    from repro.workloads.registry import make_workload
 
     rows = []
+    spec = ScenarioSpec(sampling_rate=1000, windows=windows, seed=seed)
     for label, mf in (
         ("filter-on", MigrationFilter()),
         ("filter-off", MigrationFilter(pressure_threshold=None, enforce_capacity=False)),
     ):
-        workload = make_workload("memcached-ycsb", seed=seed)
-        system = build_system(workload, mix="standard", seed=seed)
-        daemon = TSDaemon(
-            system,
-            make_policy("am-tco"),
-            migration_filter=mf,
-            sampling_rate=1000,
-            seed=seed + 1,
-        )
-        summary = daemon.run(workload, windows)
-        rows.append(
-            {
-                "config": label,
-                "slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "faults": summary.total_faults,
-                "migration_ms": summary.migration_ns / 1e6,
-            }
-        )
+        summary, _ = _run(spec, migration_filter=mf)
+        rows.append(_pct_row(
+            summary, config=label,
+            faults=summary.total_faults,
+            migration_ms=summary.migration_ns / 1e6,
+        ))
     return rows
 
 
@@ -469,30 +322,11 @@ def ablation_cooling(
     coolings=(0.0, 0.25, 0.5, 0.75, 1.0), windows: int = 10, seed: int = 0
 ) -> list[dict]:
     """Hotness EWMA cooling-factor sweep."""
-    from repro.bench.runner import build_system, make_policy
-    from repro.core.daemon import TSDaemon
-    from repro.workloads.registry import make_workload
-
     rows = []
     for cooling in coolings:
-        workload = make_workload("memcached-ycsb", seed=seed)
-        system = build_system(workload, mix="standard", seed=seed)
-        daemon = TSDaemon(
-            system,
-            make_policy("am-tco"),
-            sampling_rate=1000,
-            cooling=cooling,
-            seed=seed + 1,
-        )
-        summary = daemon.run(workload, windows)
-        rows.append(
-            {
-                "cooling": cooling,
-                "slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "faults": summary.total_faults,
-            }
-        )
+        spec = ScenarioSpec(sampling_rate=1000, cooling=cooling, windows=windows, seed=seed)
+        summary, _ = _run(spec)
+        rows.append(_pct_row(summary, cooling=cooling, faults=summary.total_faults))
     return rows
 
 
@@ -502,93 +336,55 @@ def ablation_tier_count(windows: int = 10, seed: int = 0) -> list[dict]:
     rows = []
     for mix, label in (("single", "1-CT"), ("standard", "2-CT"), ("spectrum", "5-CT")):
         policy = "gswap" if mix == "single" else "am"
-        summary = run_policy(
-            "memcached-ycsb",
-            policy,
-            mix=mix,
+        summary, _ = _run(ScenarioSpec(
+            policy=policy, mix=mix,
             alpha=0.1 if policy == "am" else None,
-            percentile=75.0,
-            windows=windows,
-            seed=seed,
-        )
-        rows.append(
-            {
-                "config": label,
-                "slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-            }
-        )
+            percentile=75.0, windows=windows, seed=seed,
+        ))
+        rows.append(_pct_row(summary, config=label))
     return rows
 
 
 def ablation_prefetch(windows: int = 10, seed: int = 0) -> list[dict]:
     """Spatial prefetcher on/off for a fault-heavy configuration (the
     paper's §3.2 future-work extension)."""
-    from repro.bench.runner import build_system, make_policy
-    from repro.core.daemon import TSDaemon
-    from repro.workloads.registry import make_workload
-
     rows = []
     for label, degree in (("no-prefetch", None), ("prefetch-4", 4), ("prefetch-8", 8)):
-        workload = make_workload("memcached-ycsb", seed=seed)
-        system = build_system(workload, mix="standard", seed=seed)
-        daemon = TSDaemon(
-            system,
-            make_policy("tmo", percentile=75.0),
-            sampling_rate=100,
-            prefetch_degree=degree,
-            seed=seed + 1,
-        )
-        summary = daemon.run(workload, windows)
-        stats = daemon.prefetcher.stats if daemon.prefetcher else None
-        rows.append(
-            {
-                "config": label,
-                "slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "faults": summary.total_faults,
-                "prefetches": stats.issued if stats else 0,
-                "accuracy_pct": 100 * stats.accuracy if stats else 0.0,
-            }
-        )
+        summary, session = _run(ScenarioSpec(
+            policy="tmo", percentile=75.0, prefetch_degree=degree,
+            windows=windows, seed=seed,
+        ))
+        stats = session.daemon.prefetcher.stats if session.daemon.prefetcher else None
+        rows.append(_pct_row(
+            summary, config=label,
+            faults=summary.total_faults,
+            prefetches=stats.issued if stats else 0,
+            accuracy_pct=100 * stats.accuracy if stats else 0.0,
+        ))
     return rows
 
 
 def ablation_fast_migration(windows: int = 10, seed: int = 0) -> list[dict]:
     """§7.1's same-algorithm migration optimization on/off, measured on
     the spectrum mix where Waterfall migrates between lz4 tiers."""
-    from repro.bench.runner import build_system, make_policy
-    from repro.core.daemon import TSDaemon
-    from repro.workloads.registry import make_workload
-
     rows = []
+    spec = ScenarioSpec(
+        policy="waterfall", mix="spectrum", percentile=50.0,
+        windows=windows, seed=seed,
+    )
     for label, fast in (("naive-path", False), ("fast-same-algo", True)):
-        workload = make_workload("memcached-ycsb", seed=seed)
-        system = build_system(workload, mix="spectrum", seed=seed)
-        system.fast_same_algo_migration = fast
-        daemon = TSDaemon(
-            system,
-            make_policy("waterfall", mix="spectrum", percentile=50.0),
-            sampling_rate=100,
-            seed=seed + 1,
-        )
-        summary = daemon.run(workload, windows)
-        rows.append(
-            {
-                "config": label,
-                "migration_ms": summary.migration_ns / 1e6,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "slowdown_pct": 100 * summary.slowdown,
-            }
-        )
+        session = Session(spec)
+        session.system.fast_same_algo_migration = fast
+        summary = session.run()
+        rows.append(_pct_row(
+            summary, config=label, migration_ms=summary.migration_ns / 1e6,
+        ))
     return rows
 
 
 def ablation_tier_selection(windows: int = 10, seed: int = 0) -> list[dict]:
     """Hand-picked spectrum (C1/C2/C4/C7/C12) vs automatically selected
     tier set (the paper's §9 'selecting the optimal set' direction)."""
-    from repro.bench.runner import build_system, make_policy
-    from repro.core.daemon import TSDaemon
     from repro.core.tier_select import build_selected_tiers, select_tiers
     from repro.mem.address_space import AddressSpace
     from repro.mem.media import DRAM
@@ -597,11 +393,14 @@ def ablation_tier_selection(windows: int = 10, seed: int = 0) -> list[dict]:
     from repro.workloads.registry import make_workload
 
     rows = []
+    spec = ScenarioSpec(
+        policy="am", alpha=0.5, mix="spectrum", windows=windows, seed=seed,
+    )
     for label in ("hand-picked", "auto-selected"):
-        workload = make_workload("memcached-ycsb", seed=seed)
         if label == "hand-picked":
-            system = build_system(workload, mix="spectrum", seed=seed)
+            session = Session(spec)
         else:
+            workload = make_workload("memcached-ycsb", seed=seed)
             space = AddressSpace(workload.num_pages, "mixed", seed=seed)
             n = space.num_pages
             tiers = [ByteAddressableTier("DRAM", DRAM, capacity_pages=n)]
@@ -609,21 +408,12 @@ def ablation_tier_selection(windows: int = 10, seed: int = 0) -> list[dict]:
                 select_tiers("mixed", k=5, seed=seed), capacity_pages=n
             )
             system = TieredMemorySystem(tiers, space)
-        daemon = TSDaemon(
-            system,
-            make_policy("am", alpha=0.5, mix="spectrum"),
-            sampling_rate=100,
-            seed=seed + 1,
-        )
-        summary = daemon.run(workload, windows)
-        rows.append(
-            {
-                "config": label,
-                "tiers": ",".join(t.name for t in system.tiers[1:]),
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "slowdown_pct": 100 * summary.slowdown,
-            }
-        )
+            session = Session(spec, workload=workload, system=system)
+        summary = session.run()
+        rows.append(_pct_row(
+            summary, config=label,
+            tiers=",".join(t.name for t in session.system.tiers[1:]),
+        ))
     return rows
 
 
@@ -631,8 +421,8 @@ def exp_sla(
     targets=(0.02, 0.05, 0.15), windows: int = 15, seed: int = 0
 ) -> list[dict]:
     """SLA-aware knob auto-tuning: harvested TCO per slowdown budget."""
-    from repro.bench.runner import build_system
     from repro.core.slo import run_sla_tuned
+    from repro.engine.build import build_system
     from repro.workloads.registry import make_workload
 
     rows = []
@@ -643,15 +433,13 @@ def exp_sla(
             system, workload, target_slowdown=target, num_windows=windows,
             seed=seed + 1,
         )
-        rows.append(
-            {
-                "sla_slowdown_pct": 100 * target,
-                "achieved_slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "final_alpha": alphas[-1],
-                "violations": controller.violations,
-            }
-        )
+        rows.append({
+            "sla_slowdown_pct": 100 * target,
+            "achieved_slowdown_pct": 100 * summary.slowdown,
+            "tco_savings_pct": 100 * summary.tco_savings,
+            "final_alpha": alphas[-1],
+            "violations": controller.violations,
+        })
     return rows
 
 
@@ -661,22 +449,11 @@ def exp_extended_baselines(windows: int = 10, seed: int = 0) -> list[dict]:
     analytical model, on Memcached/YCSB."""
     rows = []
     for policy in ("hemem", "tpp", "memtis", "am-tco"):
-        summary = run_policy(
-            "memcached-ycsb",
-            policy,
-            mix="standard",
-            windows=windows,
-            percentile=50.0,
-            seed=seed,
-        )
-        rows.append(
-            {
-                "policy": summary.policy,
-                "slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "pages_migrated": summary.extras.get("pages_migrated", 0),
-            }
-        )
+        summary, _ = _run(ScenarioSpec(policy=policy, percentile=50.0, windows=windows, seed=seed))
+        rows.append(_pct_row(
+            summary, policy=summary.policy,
+            pages_migrated=summary.extras.get("pages_migrated", 0),
+        ))
     return rows
 
 
@@ -684,46 +461,35 @@ def ablation_granularity(windows: int = 10, seed: int = 0) -> list[dict]:
     """2 MB region management (TS-Daemon, §7.2) vs the kernel's page
     granular LRU reclaim, on identical workloads: the region design pays
     far fewer management operations for comparable savings."""
-    from repro.bench.runner import build_system, make_policy
-    from repro.core.daemon import TSDaemon
     from repro.core.placement.lru import run_lru
+    from repro.engine.build import build_system
     from repro.workloads.registry import make_workload
 
     rows = []
 
-    workload = make_workload("memcached-ycsb", seed=seed)
-    system = build_system(workload, mix="standard", seed=seed)
-    daemon = TSDaemon(
-        system, make_policy("tmo", percentile=50.0), sampling_rate=100,
-        seed=seed + 1,
-    )
-    summary = daemon.run(workload, windows)
-    rows.append(
-        {
-            "granularity": "2MB-regions",
-            "slowdown_pct": 100 * summary.slowdown,
-            "tco_savings_pct": 100 * summary.tco_savings,
-            "migration_ops": daemon.engine.stats.regions_moved,
-            "pages_moved": daemon.engine.stats.pages_moved,
-            "faults": summary.total_faults,
-        }
-    )
+    summary, session = _run(ScenarioSpec(
+        policy="tmo", percentile=50.0, windows=windows, seed=seed,
+    ))
+    rows.append(_pct_row(
+        summary, granularity="2MB-regions",
+        migration_ops=session.daemon.engine.stats.regions_moved,
+        pages_moved=session.daemon.engine.stats.pages_moved,
+        faults=summary.total_faults,
+    ))
 
     workload = make_workload("memcached-ycsb", seed=seed)
     system = build_system(workload, mix="standard", seed=seed)
     lru_summary, stats = run_lru(
         system, workload, windows, slow_tier="CT-2", age_windows=2
     )
-    rows.append(
-        {
-            "granularity": "4KB-LRU",
-            "slowdown_pct": 100 * lru_summary["slowdown"],
-            "tco_savings_pct": 100 * lru_summary["tco_savings"],
-            "migration_ops": lru_summary["migration_ops"],
-            "pages_moved": stats.pages_reclaimed,
-            "faults": lru_summary["faults"],
-        }
-    )
+    rows.append({
+        "granularity": "4KB-LRU",
+        "slowdown_pct": 100 * lru_summary["slowdown"],
+        "tco_savings_pct": 100 * lru_summary["tco_savings"],
+        "migration_ops": lru_summary["migration_ops"],
+        "pages_moved": stats.pages_reclaimed,
+        "faults": lru_summary["faults"],
+    })
     return rows
 
 
@@ -732,8 +498,6 @@ def exp_iaa_tier(windows: int = 10, seed: int = 0) -> list[dict]:
     deflate-class density at lz4-class latency collapses the trade-off
     the software tiers span (the artifact kernel's IAA toggle)."""
     from repro.bench.configs import make_compressed_tier
-    from repro.bench.runner import make_policy
-    from repro.core.daemon import TSDaemon
     from repro.mem.address_space import AddressSpace
     from repro.mem.media import DRAM, NVMM
     from repro.mem.system import TieredMemorySystem
@@ -741,6 +505,7 @@ def exp_iaa_tier(windows: int = 10, seed: int = 0) -> list[dict]:
     from repro.workloads.registry import make_workload
 
     rows = []
+    spec = ScenarioSpec(policy="am", alpha=0.4, windows=windows, seed=seed)
     for label, algo in (("sw-zstd", "zstd"), ("hw-iaa-deflate", "iaa-deflate")):
         workload = make_workload("memcached-ycsb", seed=seed)
         space = AddressSpace(workload.num_pages, "mixed", seed=seed)
@@ -751,52 +516,23 @@ def exp_iaa_tier(windows: int = 10, seed: int = 0) -> list[dict]:
             make_compressed_tier("CT", algo, "zsmalloc", NVMM, capacity_pages=n),
         ]
         system = TieredMemorySystem(tiers, space)
-        daemon = TSDaemon(
-            system,
-            make_policy("am", alpha=0.4, mix="standard"),
-            sampling_rate=100,
-            seed=seed + 1,
-        )
-        summary = daemon.run(workload, windows)
-        rows.append(
-            {
-                "tier": label,
-                "slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "faults": summary.total_faults,
-            }
-        )
+        summary = Session(spec, workload=workload, system=system).run()
+        rows.append(_pct_row(
+            summary, tier=label, faults=summary.total_faults,
+        ))
     return rows
 
 
 def ablation_telemetry(windows: int = 10, seed: int = 0) -> list[dict]:
     """Telemetry backend comparison: PEBS sampling vs ACCESSED-bit
     scanning vs DAMON-style probing, driving the same AM policy."""
-    from repro.bench.runner import build_system, make_policy
-    from repro.core.daemon import TSDaemon
-    from repro.workloads.registry import make_workload
-
     rows = []
     for kind in ("pebs", "idlebit", "damon"):
-        workload = make_workload("memcached-ycsb", seed=seed)
-        system = build_system(workload, mix="standard", seed=seed)
-        daemon = TSDaemon(
-            system,
-            make_policy("am-tco"),
-            telemetry=kind,
-            sampling_rate=100,
-            seed=seed + 1,
-        )
-        summary = daemon.run(workload, windows)
-        rows.append(
-            {
-                "telemetry": kind,
-                "slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "faults": summary.total_faults,
-                "profiling_ms": summary.profiling_ns / 1e6,
-            }
-        )
+        summary, _ = _run(ScenarioSpec(telemetry=kind, windows=windows, seed=seed))
+        rows.append(_pct_row(
+            summary, telemetry=kind, faults=summary.total_faults,
+            profiling_ms=summary.profiling_ns / 1e6,
+        ))
     return rows
 
 
@@ -806,13 +542,13 @@ def exp_colocation(windows: int = 10, seed: int = 0) -> list[dict]:
     mix with a PageRank tenant (highly compressible graph data); the
     harness reports per-tenant placement and TCO."""
     from repro.bench.configs import spectrum_mix
-    from repro.bench.runner import make_policy
-    from repro.core.daemon import TSDaemon
     from repro.mem.address_space import AddressSpace
-    from repro.mem.page import PAGE_SIZE
     from repro.mem.system import TieredMemorySystem
-    from repro.mem.tier import CompressedTier
-    from repro.workloads.colocate import CompositeWorkload, composite_compressibility
+    from repro.workloads.colocate import (
+        CompositeWorkload,
+        composite_compressibility,
+        tenant_placement_rows,
+    )
     from repro.workloads.registry import make_workload
 
     tenants = [
@@ -827,43 +563,21 @@ def exp_colocation(windows: int = 10, seed: int = 0) -> list[dict]:
         compressibility=composite_compressibility(tenants, profiles, seed),
     )
     system = TieredMemorySystem(spectrum_mix(space), space)
-    daemon = TSDaemon(
-        system,
-        make_policy("am", alpha=0.5, mix="spectrum"),
-        sampling_rate=100,
-        seed=seed + 1,
-    )
-    summary = daemon.run(workload, windows)
+    summary = Session(
+        ScenarioSpec(
+            policy="am", alpha=0.5, mix="spectrum", windows=windows, seed=seed,
+        ),
+        workload=workload,
+        system=system,
+    ).run()
 
-    rows = []
-    dram_cost_per_page = system.dram.media.cost_per_page
-    for i, tenant in enumerate(tenants):
-        start, end = workload.tenant_range(i)
-        locations = system.page_location[start:end]
-        cost = 0.0
-        row = {"tenant": tenant.name, "profile": profiles[i]}
-        for t_idx, tier in enumerate(system.tiers):
-            resident = int((locations == t_idx).sum())
-            row[tier.name] = resident
-            if isinstance(tier, CompressedTier):
-                cost += (
-                    tier.stored_bytes_in_range(start, end)
-                    / PAGE_SIZE
-                    * tier.media.cost_per_page
-                )
-            else:
-                cost += resident * tier.media.cost_per_page
-        tenant_max = tenant.num_pages * dram_cost_per_page
-        row["tco_savings_pct"] = 100 * (1 - cost / tenant_max)
-        rows.append(row)
-    rows.append(
-        {
-            "tenant": "TOTAL",
-            "profile": "-",
-            **{t.name: int(c) for t, c in zip(system.tiers, system.placement_counts())},
-            "tco_savings_pct": 100 * summary.tco_savings,
-        }
-    )
+    rows = tenant_placement_rows(system, workload, profiles)
+    rows.append({
+        "tenant": "TOTAL",
+        "profile": "-",
+        **{t.name: int(c) for t, c in zip(system.tiers, system.placement_counts())},
+        "tco_savings_pct": 100 * summary.tco_savings,
+    })
     return rows
 
 
@@ -871,20 +585,6 @@ def ablation_solver(windows: int = 6, seed: int = 0) -> list[dict]:
     """Solver backend comparison on identical runs."""
     rows = []
     for backend in ("greedy", "scipy"):
-        summary = run_policy(
-            "memcached-ycsb",
-            "am-tco",
-            mix="standard",
-            windows=windows,
-            seed=seed,
-            solver_backend=backend,
-        )
-        rows.append(
-            {
-                "backend": backend,
-                "slowdown_pct": 100 * summary.slowdown,
-                "tco_savings_pct": 100 * summary.tco_savings,
-                "solver_ms": summary.solver_ns / 1e6,
-            }
-        )
+        summary, _ = _run(ScenarioSpec(solver_backend=backend, windows=windows, seed=seed))
+        rows.append(_pct_row(summary, backend=backend, solver_ms=summary.solver_ns / 1e6))
     return rows

@@ -1,113 +1,86 @@
-"""Single-experiment executor: workload + tier mix + policy -> summary."""
+"""Single-experiment executor: a thin compatibility shim over the engine.
+
+The canonical construction path and the instrumented window loop live in
+:mod:`repro.engine` (:class:`~repro.engine.spec.ScenarioSpec` +
+:class:`~repro.engine.session.Session`); this module keeps the historic
+``run_policy`` entry point and re-exports ``build_system`` /
+``make_policy`` / ``MIXES`` for existing callers.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.bench import configs
-from repro.core.daemon import TSDaemon
-from repro.core.knob import Knob
-from repro.core.placement.analytical import AnalyticalModel
 from repro.core.placement.base import PlacementModel
-from repro.core.placement.memtis import MemtisPolicy
-from repro.core.placement.static_threshold import StaticThresholdPolicy
-from repro.core.placement.tpp import TPPPolicy
-from repro.core.placement.waterfall import WaterfallModel
-from repro.mem.address_space import AddressSpace
-from repro.mem.system import TieredMemorySystem
-from repro.mem.tier import Tier
+from repro.engine.build import MIXES, build_system, make_policy
+from repro.engine.session import Session
+from repro.engine.spec import ScenarioSpec
 from repro.workloads.base import Workload
-from repro.workloads.registry import WORKLOADS, make_workload
+from repro.workloads.registry import WORKLOADS
 
-#: Tier-mix factories by name.
-MIXES: dict[str, Callable[[AddressSpace], list[Tier]]] = {
-    "standard": configs.standard_mix,
-    "spectrum": configs.spectrum_mix,
-    "single": configs.single_ct_mix,
-}
+__all__ = ["MIXES", "build_system", "make_policy", "run_policy", "session_for"]
 
-
-def build_system(
-    workload: Workload, mix: str = "standard", seed: int = 0
-) -> TieredMemorySystem:
-    """Build an address space + tier mix sized for ``workload``.
-
-    The address-space compressibility profile comes from the workload's
-    registry entry when it has one, otherwise ``"mixed"``.
-    """
-    profile = "mixed"
-    for spec in WORKLOADS.values():
-        if workload.name.startswith(spec.name.split("-")[0]):
-            profile = spec.compressibility_profile
-            break
-    space = AddressSpace(
-        num_pages=workload.num_pages,
-        compressibility_profile=profile,
-        seed=seed,
-    )
-    try:
-        mix_factory = MIXES[mix]
-    except KeyError:
-        raise KeyError(
-            f"unknown tier mix {mix!r}; available: {sorted(MIXES)}"
-        ) from None
-    return TieredMemorySystem(mix_factory(space), space)
+#: ``run_policy`` daemon kwargs that map directly onto spec fields.
+_SPEC_DAEMON_KEYS = (
+    "telemetry",
+    "cooling",
+    "push_threads",
+    "recency_windows",
+    "prefetch_degree",
+)
 
 
-def make_policy(
-    policy: str,
+def session_for(
+    workload: str | Workload,
+    policy: str | PlacementModel,
     mix: str = "standard",
+    windows: int = 12,
     percentile: float = 25.0,
     alpha: float | None = None,
+    sampling_rate: int = 100,
+    seed: int = 0,
+    workload_kwargs: dict | None = None,
     solver_backend: str = "auto",
-) -> PlacementModel:
-    """Build a placement policy by evaluation name.
+    **daemon_kwargs,
+) -> Session:
+    """Build a :class:`Session` from ``run_policy``-style arguments.
 
-    Recognised names: ``hemem`` (NVMM two-tier), ``gswap`` (CT-1 / C7
-    two-tier), ``tmo`` (CT-2 two-tier, standard mix only), ``waterfall``,
-    ``am`` (analytical; requires ``alpha``), the presets ``am-tco`` and
-    ``am-perf``, plus the extended related-work baselines ``tpp``
-    (watermark + hysteresis over NVMM) and ``memtis`` (histogram-sized
-    hot set over NVMM).
+    ``workload`` and ``policy`` may be prebuilt objects; they are then
+    passed to the session as overrides and the spec keeps its defaults
+    for the corresponding names (the objects win).
     """
-    policy = policy.lower()
-    if policy == "hemem":
-        if mix != "standard":
-            raise ValueError("HeMem* needs the standard mix (it uses NVMM)")
-        return StaticThresholdPolicy("NVMM", percentile, name="HeMem*")
-    if policy == "tpp":
-        if mix != "standard":
-            raise ValueError("TPP* needs the standard mix (it uses NVMM)")
-        # Interpret the percentile knob as the DRAM watermark: a 75th
-        # percentile (aggressive) setting keeps only 25 % in DRAM.
-        return TPPPolicy("NVMM", dram_watermark=1.0 - percentile / 100.0)
-    if policy == "memtis":
-        if mix != "standard":
-            raise ValueError("MEMTIS* needs the standard mix (it uses NVMM)")
-        return MemtisPolicy("NVMM", dram_budget=1.0 - percentile / 100.0)
-    if policy == "gswap":
-        slow = "C7" if mix == "spectrum" else "CT-1"
-        return StaticThresholdPolicy(slow, percentile, name="GSwap*")
-    if policy == "tmo":
-        if mix != "standard":
-            raise ValueError("TMO* needs the standard mix (it uses CT-2)")
-        return StaticThresholdPolicy("CT-2", percentile, name="TMO*")
-    if policy == "waterfall":
-        return WaterfallModel(percentile)
-    if policy == "am-tco":
-        return AnalyticalModel(Knob.am_tco(), backend=solver_backend, name="AM-TCO")
-    if policy == "am-perf":
-        return AnalyticalModel(
-            Knob.am_perf(), backend=solver_backend, name="AM-perf"
-        )
-    if policy == "am":
-        if alpha is None:
-            raise ValueError("policy 'am' requires an alpha value")
-        return AnalyticalModel(Knob(alpha), backend=solver_backend)
-    raise KeyError(
-        f"unknown policy {policy!r}; available: hemem, gswap, tmo, tpp, "
-        "memtis, waterfall, am, am-tco, am-perf"
+    spec_kwargs = dict(
+        mix=mix,
+        windows=windows,
+        percentile=percentile,
+        alpha=alpha,
+        sampling_rate=sampling_rate,
+        seed=seed,
+        solver_backend=solver_backend,
     )
+    migration_filter = daemon_kwargs.pop("migration_filter", None)
+    for key in _SPEC_DAEMON_KEYS:
+        if key in daemon_kwargs:
+            spec_kwargs[key] = daemon_kwargs.pop(key)
+    if daemon_kwargs:
+        raise TypeError(
+            f"unknown daemon options: {sorted(daemon_kwargs)}"
+        )
+    overrides: dict = {"migration_filter": migration_filter}
+    if isinstance(workload, str):
+        spec_kwargs["workload"] = workload
+        spec_kwargs["workload_kwargs"] = dict(workload_kwargs or {})
+    else:
+        if workload_kwargs:
+            raise ValueError(
+                "workload_kwargs only apply when workload is a name"
+            )
+        overrides["workload"] = workload
+        if workload.name in WORKLOADS:
+            spec_kwargs["workload"] = workload.name
+    if isinstance(policy, str):
+        spec_kwargs["policy"] = policy
+    else:
+        overrides["policy"] = policy
+    return Session(ScenarioSpec(**spec_kwargs), **overrides)
 
 
 def run_policy(
@@ -149,22 +122,20 @@ def run_policy(
         A :class:`~repro.core.metrics.RunSummary`, or ``(summary, daemon)``
         when ``return_daemon`` is set.
     """
-    if isinstance(workload, str):
-        workload = make_workload(workload, seed=seed, **(workload_kwargs or {}))
-    system = build_system(workload, mix=mix, seed=seed)
-    if isinstance(policy, str):
-        policy = make_policy(
-            policy,
-            mix=mix,
-            percentile=percentile,
-            alpha=alpha,
-            solver_backend=solver_backend,
-        )
-    daemon = TSDaemon(
-        system, policy, sampling_rate=sampling_rate, seed=seed + 1,
+    session = session_for(
+        workload,
+        policy,
+        mix=mix,
+        windows=windows,
+        percentile=percentile,
+        alpha=alpha,
+        sampling_rate=sampling_rate,
+        seed=seed,
+        workload_kwargs=workload_kwargs,
+        solver_backend=solver_backend,
         **daemon_kwargs,
     )
-    summary = daemon.run(workload, windows)
+    summary = session.run()
     if return_daemon:
-        return summary, daemon
+        return summary, session.daemon
     return summary

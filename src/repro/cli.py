@@ -1,19 +1,26 @@
-"""Command-line interface: run any experiment or policy from the shell.
+"""Command-line interface: run any experiment, scenario or policy.
 
 Examples::
 
     python -m repro list                          # available experiments
     python -m repro run fig01 --windows 8         # regenerate Figure 1
     python -m repro run fig13 --seed 3
+    python -m repro run scenario.json             # run a scenario file
     python -m repro policy memcached-ycsb am-tco  # one policy run
     python -m repro workloads                     # Table 2
     python -m repro tiers --profile nci --k 5     # auto tier selection
+
+``run`` accepts either a named experiment driver or a path to a
+:class:`~repro.engine.spec.ScenarioSpec` file (``.json`` / ``.toml``);
+unknown experiment, workload, policy or telemetry names exit with
+status 2.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.bench import experiments
@@ -126,14 +133,54 @@ def cmd_list(_args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+def _run_scenario_file(path: str, args) -> int:
+    """Execute one engine scenario from a .json/.toml file."""
+    from repro.engine import ScenarioSpec, Session, export_events
+
     try:
-        driver, _ = EXPERIMENTS[args.experiment]
+        spec = ScenarioSpec.load(path)
+    except FileNotFoundError:
+        print(f"scenario file not found: {path}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"invalid scenario {path!r}: {message}", file=sys.stderr)
+        return 2
+    try:
+        session = Session(spec)
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"cannot build scenario {spec.label!r}: {message}", file=sys.stderr)
+        return 2
+    summary = session.run()
+    print(format_table([summary.row()], title=spec.label))
+    from repro.engine import window_rows
+
+    print(format_table(window_rows(session.events), title="per-window events"))
+    bursts = [e for e in session.events if e.kind == "fault_burst"]
+    if bursts:
+        windows = ", ".join(str(e.window) for e in bursts)
+        print(f"fault bursts in windows: {windows}")
+    if args.out:
+        path_out = export_events(session.events, args.out)
+        print(f"event stream written to {path_out}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    target = args.experiment
+    if target not in EXPERIMENTS and (
+        target.endswith((".json", ".toml")) or Path(target).is_file()
+    ):
+        return _run_scenario_file(target, args)
+    try:
+        driver, _ = EXPERIMENTS[target]
     except KeyError:
         valid = ", ".join(sorted(EXPERIMENTS))
         print(
             f"unknown experiment {args.experiment!r}; valid names: {valid}\n"
-            f"(fleet simulation is its own subcommand: python -m repro fleet)",
+            f"(or pass a scenario file: python -m repro run scenario.json; "
+            f"fleet simulation is its own subcommand: python -m repro fleet)",
             file=sys.stderr,
         )
         return 2
@@ -154,15 +201,20 @@ def cmd_run(args) -> int:
 
 
 def cmd_policy(args) -> int:
-    summary = run_policy(
-        args.workload,
-        args.policy,
-        mix=args.mix,
-        windows=args.windows,
-        percentile=args.percentile,
-        alpha=args.alpha,
-        seed=args.seed,
-    )
+    try:
+        summary = run_policy(
+            args.workload,
+            args.policy,
+            mix=args.mix,
+            windows=args.windows,
+            percentile=args.percentile,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"invalid policy run: {message}", file=sys.stderr)
+        return 2
     print(format_table([summary.row()], title=f"{args.workload} / {args.policy}"))
     print(f"p99.9 latency : {summary.p999_latency_ns:.0f} ns")
     print(f"migration     : {summary.migration_ns / 1e6:.1f} ms (daemon)")
@@ -297,8 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_list
     )
 
-    run = sub.add_parser("run", help="run an experiment driver")
-    run.add_argument("experiment", help="experiment name (see 'list')")
+    run = sub.add_parser(
+        "run", help="run an experiment driver or a scenario file"
+    )
+    run.add_argument(
+        "experiment",
+        help="experiment name (see 'list') or a scenario .json/.toml path",
+    )
     run.add_argument("--windows", type=int, default=10)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(

@@ -129,6 +129,12 @@ class TSDaemon:
     ) -> None:
         from repro.telemetry import make_profiler
 
+        if sampling_rate < 1:
+            raise ValueError(
+                f"sampling_rate must be >= 1, got {sampling_rate}"
+            )
+        if not 0.0 <= cooling <= 1.0:
+            raise ValueError(f"cooling must be in [0, 1], got {cooling}")
         self.system = system
         self.model = model
         self.filter = migration_filter or MigrationFilter()

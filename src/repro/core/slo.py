@@ -99,27 +99,38 @@ def run_sla_tuned(
     solver_backend: str = "auto",
     seed: int = 0,
 ):
-    """Run a daemon whose analytical model is retuned every window.
+    """Run an engine session whose analytical model is retuned every
+    window (the per-window knob update happens between
+    :meth:`~repro.engine.session.Session.run_window` calls).
 
     Returns:
         ``(summary, controller, per_window_alphas)``.
     """
     import numpy as np
 
-    from repro.core.daemon import TSDaemon
     from repro.core.placement.analytical import AnalyticalModel
+    from repro.engine.session import Session
+    from repro.engine.spec import ScenarioSpec
 
     controller = SLOController(target_slowdown=target_slowdown)
     model = AnalyticalModel(Knob(controller.alpha), backend=solver_backend)
-    daemon = TSDaemon(system, model, sampling_rate=sampling_rate, seed=seed)
+    session = Session(
+        ScenarioSpec(
+            windows=num_windows,
+            sampling_rate=sampling_rate,
+            solver_backend=solver_backend,
+            seed=seed,
+            daemon_seed=seed,
+        ),
+        workload=workload,
+        system=system,
+        policy=model,
+    )
     alphas = []
     optimal_per_access = system.dram.media.read_ns
     for _ in range(num_windows):
-        page_ids = workload.next_window()
         alphas.append(model.knob.alpha)
-        record = daemon.run_window(
-            page_ids, write_fraction=workload.write_fraction
-        )
+        record = session.run_window()
         window_optimal = record.accesses * optimal_per_access
         window_slowdown = (
             (record.access_ns - window_optimal) / window_optimal
@@ -127,7 +138,7 @@ def run_sla_tuned(
             else 0.0
         )
         model.knob = controller.observe(window_slowdown)
-    summary = daemon.summary(workload.name)
+    summary = session.summary()
     summary.extras["alphas"] = np.array(alphas)
     summary.extras["sla_violations"] = controller.violations
     return summary, controller, alphas

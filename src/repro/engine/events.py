@@ -1,0 +1,95 @@
+"""Structured engine events: one stream for every consumer.
+
+The session emits a small, flat event per interesting moment of the
+window loop:
+
+* ``window_start`` -- a profile window is about to run,
+* ``window_end``   -- the window closed; payload carries the headline
+  per-window metrics (the shape the fleet's JSONL export and the bench
+  exporters both consume),
+* ``migration``    -- the migration wave moved pages this window,
+* ``fault_burst``  -- this window's compressed-tier faults spiked above
+  the run's trailing mean (a thrashing signal).
+
+Events are plain data (kind, window, flat payload), so exporting them is
+just :func:`repro.bench.export.export` on the flattened rows -- there is
+no bench-private or fleet-private record shape anymore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+#: The event kinds a session can emit.
+EVENT_KINDS = ("window_start", "window_end", "migration", "fault_burst")
+
+#: An event consumer: called synchronously as each event is emitted.
+EventHook = Callable[["EngineEvent"], None]
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One structured event from the session's window loop.
+
+    Attributes:
+        kind: One of :data:`EVENT_KINDS`.
+        window: Window index the event belongs to.
+        data: Flat, JSON-serializable payload.
+    """
+
+    kind: str
+    window: int
+    data: dict = field(default_factory=dict)
+
+    def row(self) -> dict:
+        """Flat export row (``event`` + ``window`` + payload)."""
+        return {"event": self.kind, "window": self.window, **self.data}
+
+
+class EventLog:
+    """Collects events and fans them out to subscribed hooks."""
+
+    def __init__(self, hooks: Iterable[EventHook] = ()) -> None:
+        self.events: list[EngineEvent] = []
+        self._hooks: list[EventHook] = list(hooks)
+
+    def subscribe(self, hook: EventHook) -> None:
+        self._hooks.append(hook)
+
+    def emit(self, kind: str, window: int, **data) -> EngineEvent:
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; available: {EVENT_KINDS}"
+            )
+        event = EngineEvent(kind=kind, window=window, data=data)
+        self.events.append(event)
+        for hook in self._hooks:
+            hook(event)
+        return event
+
+
+def window_rows(events: Iterable[EngineEvent]) -> list[dict]:
+    """Per-window metric rows: the ``window_end`` payloads, flattened.
+
+    This is the canonical per-window record shape; the fleet prepends
+    node identity to each row and the bench exporters write them as-is.
+    """
+    return [
+        {"window": e.window, **e.data}
+        for e in events
+        if e.kind == "window_end"
+    ]
+
+
+def event_rows(events: Iterable[EngineEvent]) -> list[dict]:
+    """Every event as one flat export row, in emission order."""
+    return [e.row() for e in events]
+
+
+def export_events(events: Iterable[EngineEvent], path) -> Path:
+    """Persist an event stream (JSONL/JSON/CSV by file suffix)."""
+    from repro.bench.export import export
+
+    return export(event_rows(events), path)

@@ -1,0 +1,185 @@
+"""The session: one scenario, one construction path, one window loop.
+
+``Session`` turns a :class:`~repro.engine.spec.ScenarioSpec` into live
+simulator objects (workload, tiered system, policy, daemon) and owns the
+single instrumented window loop that used to be re-implemented by
+``TSDaemon.run``, ``bench.runner.run_policy`` and the fleet's per-node
+worker body.  Each window it emits structured
+:class:`~repro.engine.events.EngineEvent` records that the bench
+exporters and the fleet's JSONL stream consume directly.
+
+Exotic experiments (hand-built tier sets, composite workloads, serviced
+or null policies) pass prebuilt objects as overrides and still run
+through the same loop -- the spec then only describes the loop
+parameters (windows, telemetry, seeds).
+"""
+
+from __future__ import annotations
+
+from repro.core.daemon import TSDaemon, WindowRecord
+from repro.core.metrics import RunSummary
+from repro.engine.build import build_system, make_policy
+from repro.engine.events import EngineEvent, EventHook, EventLog
+from repro.engine.spec import ScenarioSpec
+from repro.workloads.registry import make_workload
+
+#: A window is a fault burst when its compressed-tier faults exceed this
+#: multiple of the trailing per-window mean...
+FAULT_BURST_FACTOR = 2.0
+#: ...and at least this many pages faulted (suppresses noise bursts).
+FAULT_BURST_MIN = 16
+
+
+class NullModel:
+    """Placement model that never moves anything.
+
+    Pass as a ``policy`` override for baseline / profiling-only runs
+    (e.g. the TierScape-tax figure's first two configurations).
+    """
+
+    name = "baseline"
+    solver_ns = 0.0
+
+    def recommend(self, record, system) -> dict[int, int]:
+        return {}
+
+
+class Session:
+    """Execute one scenario through the instrumented window loop.
+
+    Args:
+        spec: The declarative scenario.
+        workload: Prebuilt workload generator; overrides
+            ``spec.workload`` construction.
+        system: Prebuilt tiered system; overrides the canonical
+            ``build_system`` path.
+        policy: Prebuilt placement model; overrides ``make_policy``.
+        migration_filter: Optional §6.7 filter override for the daemon.
+        hooks: Event hooks called synchronously on each emitted event.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        workload=None,
+        system=None,
+        policy=None,
+        migration_filter=None,
+        hooks: tuple[EventHook, ...] = (),
+    ) -> None:
+        self.spec = spec
+        self.workload = (
+            workload
+            if workload is not None
+            else make_workload(
+                spec.workload, seed=spec.seed, **spec.scaled_workload_kwargs()
+            )
+        )
+        self.system = (
+            system
+            if system is not None
+            else build_system(self.workload, mix=spec.mix, seed=spec.seed)
+        )
+        self.policy = (
+            policy
+            if policy is not None
+            else make_policy(
+                spec.policy,
+                mix=spec.mix,
+                percentile=spec.percentile,
+                alpha=spec.alpha,
+                solver_backend=spec.solver_backend,
+            )
+        )
+        self.daemon = TSDaemon(
+            self.system,
+            self.policy,
+            migration_filter=migration_filter,
+            sampling_rate=spec.sampling_rate,
+            cooling=spec.cooling,
+            push_threads=spec.push_threads,
+            recency_windows=spec.recency_windows,
+            prefetch_degree=spec.prefetch_degree,
+            telemetry=spec.telemetry,
+            seed=spec.resolved_daemon_seed(),
+        )
+        self.log = EventLog(hooks)
+        self._fault_history: list[int] = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def events(self) -> list[EngineEvent]:
+        """Events emitted so far, in order."""
+        return self.log.events
+
+    @property
+    def records(self) -> list[WindowRecord]:
+        """Per-window daemon records."""
+        return self.daemon.records
+
+    # -- the window loop -----------------------------------------------------
+
+    def run_window(self) -> WindowRecord:
+        """Run one profile window of the scenario's workload."""
+        window = len(self.daemon.records)
+        self.log.emit("window_start", window)
+        page_ids = self.workload.next_window()
+        moved_before = self.daemon.engine.stats.pages_moved
+        record = self.daemon.run_window(
+            page_ids, write_fraction=self.workload.write_fraction
+        )
+        faults = int(record.faults.sum())
+        self.log.emit(
+            "window_end",
+            record.window,
+            tco_savings_pct=100.0 * record.tco_savings,
+            slowdown_proxy_ns=record.access_ns,
+            faults=faults,
+            migration_ms=record.migration_wall_ns / 1e6,
+            solver_ms=record.solver_ns / 1e6,
+        )
+        pages_moved = self.daemon.engine.stats.pages_moved - moved_before
+        if pages_moved:
+            self.log.emit(
+                "migration",
+                record.window,
+                pages_moved=pages_moved,
+                migration_ms=record.migration_wall_ns / 1e6,
+            )
+        self._check_fault_burst(record.window, faults)
+        return record
+
+    def _check_fault_burst(self, window: int, faults: int) -> None:
+        history = self._fault_history
+        if history:
+            mean = sum(history) / len(history)
+            if faults >= FAULT_BURST_MIN and faults > FAULT_BURST_FACTOR * mean:
+                self.log.emit(
+                    "fault_burst", window, faults=faults, trailing_mean=mean
+                )
+        history.append(faults)
+
+    def run(self, windows: int | None = None) -> RunSummary:
+        """Drive the loop for ``windows`` (default: the spec's count)."""
+        if self.workload.num_pages > self.system.space.num_pages:
+            raise ValueError(
+                f"workload touches {self.workload.num_pages} pages but the "
+                f"address space has {self.system.space.num_pages}"
+            )
+        for _ in range(self.spec.windows if windows is None else windows):
+            self.run_window()
+        return self.summary()
+
+    def summary(self) -> RunSummary:
+        """Aggregate the windows run so far."""
+        return self.daemon.summary(self.workload.name)
+
+
+def run_scenario(
+    spec: ScenarioSpec, hooks: tuple[EventHook, ...] = ()
+) -> tuple[RunSummary, Session]:
+    """Build a session for ``spec``, run it, and return both."""
+    session = Session(spec, hooks=hooks)
+    return session.run(), session

@@ -19,11 +19,9 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.bench.runner import build_system, make_policy
-from repro.core.daemon import TSDaemon
 from repro.core.knob import Knob
 from repro.core.metrics import RunSummary
-from repro.core.seeding import child_seed
+from repro.engine import Session, make_policy, window_rows
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.service import (
     ServicedAnalyticalModel,
@@ -32,7 +30,6 @@ from repro.fleet.service import (
     SolverServiceConfig,
 )
 from repro.fleet.spec import FleetSpec, NodeSpec
-from repro.workloads.registry import make_workload
 
 #: Policies that route their ILP through the solver service.
 _ANALYTICAL = ("am", "am-tco", "am-perf")
@@ -109,34 +106,23 @@ def _run_node(payload: tuple[NodeSpec, SolverServiceConfig]) -> NodeResult:
     code path for the determinism contract.
     """
     spec, service = payload
-    workload = make_workload(
-        spec.workload, seed=spec.seed, **spec.workload_kwargs
-    )
-    system = build_system(workload, mix=spec.mix, seed=spec.seed)
     model = _make_node_model(spec, service)
-    daemon = TSDaemon(
-        system,
-        model,
-        sampling_rate=spec.sampling_rate,
-        seed=child_seed(spec.seed, 1),
-    )
-    summary = daemon.run(workload, spec.windows)
+    session = Session(spec.to_scenario(), policy=model)
+    summary = session.run()
     events = list(getattr(model, "events", ()))
     stats = getattr(model, "stats", None) or ServiceStats()
-    window_rows = []
-    for record in daemon.records:
-        event = events[record.window] if record.window < len(events) else None
-        window_rows.append(
+    # The engine's per-window rows, tagged with node identity and the
+    # solver-service view of each window.
+    rows = []
+    for row in window_rows(session.events):
+        window = row["window"]
+        event = events[window] if window < len(events) else None
+        rows.append(
             {
                 "node": spec.node_id,
-                "workload": workload.name,
+                "workload": session.workload.name,
                 "policy": summary.policy,
-                "window": record.window,
-                "tco_savings_pct": 100.0 * record.tco_savings,
-                "slowdown_proxy_ns": record.access_ns,
-                "faults": int(record.faults.sum()),
-                "migration_ms": record.migration_wall_ns / 1e6,
-                "solver_ms": record.solver_ns / 1e6,
+                **row,
                 "queue_ms": (event.queue_ns / 1e6) if event else 0.0,
                 "fallback": bool(event.fallback) if event else False,
             }
@@ -146,7 +132,7 @@ def _run_node(payload: tuple[NodeSpec, SolverServiceConfig]) -> NodeResult:
         summary=summary,
         stats=stats,
         events=events,
-        window_rows=window_rows,
+        window_rows=rows,
     )
 
 

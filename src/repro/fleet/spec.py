@@ -16,11 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.bench.configs import fleet_profile
-from repro.core.seeding import spawn_seeds
-from repro.mem.page import PAGES_PER_REGION
-
-#: Keys in a profile template that scale with the node's size factor.
-_SCALABLE_KEYS = ("num_pages", "ops_per_window")
+from repro.core.seeding import child_seed, spawn_seeds
+from repro.engine.spec import ScenarioSpec, scale_workload_kwargs
 
 
 @dataclass(frozen=True)
@@ -59,20 +56,26 @@ class NodeSpec:
         """This node, retargeted to an explicit analytical knob."""
         return replace(self, policy="am", alpha=alpha)
 
+    def to_scenario(self) -> ScenarioSpec:
+        """This node as an engine scenario.
 
-def _scale_kwargs(kwargs: dict, scale: float) -> dict:
-    """Apply a node size factor to the scalable template keys."""
-    scaled = dict(kwargs)
-    for key in _SCALABLE_KEYS:
-        if key not in scaled:
-            continue
-        value = int(round(scaled[key] * scale))
-        if key == "num_pages":
-            # Keep the address space region-aligned (and non-empty).
-            regions = max(1, value // PAGES_PER_REGION)
-            value = regions * PAGES_PER_REGION
-        scaled[key] = max(1, value)
-    return scaled
+        The workload kwargs are already scaled (scale 1.0); the daemon
+        seed is spawned from the node seed, preserving the fleet's
+        historic seed derivation.
+        """
+        return ScenarioSpec(
+            name=f"node-{self.node_id}",
+            workload=self.workload,
+            workload_kwargs=dict(self.workload_kwargs),
+            mix=self.mix,
+            policy=self.policy,
+            percentile=self.percentile,
+            alpha=self.alpha,
+            windows=self.windows,
+            seed=self.seed,
+            sampling_rate=self.sampling_rate,
+            daemon_seed=child_seed(self.seed, 1),
+        )
 
 
 @dataclass(frozen=True)
@@ -126,7 +129,7 @@ class FleetSpec:
                 NodeSpec(
                     node_id=i,
                     workload=workload,
-                    workload_kwargs=_scale_kwargs(kwargs, scale),
+                    workload_kwargs=scale_workload_kwargs(kwargs, scale),
                     policy=self.policy,
                     mix=self.mix,
                     percentile=self.percentile,

@@ -80,6 +80,7 @@ class TieredMemorySystem:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate tier names: {names}")
         self.tiers = tiers
+        self._tier_index = {name: i for i, name in enumerate(names)}
         self.space = address_space
         self.clock = ClockStats()
         self.page_location = np.zeros(address_space.num_pages, dtype=np.int16)
@@ -103,11 +104,12 @@ class TieredMemorySystem:
         return self.tiers[0]  # type: ignore[return-value]
 
     def tier_index(self, name: str) -> int:
-        """Index of the tier called ``name``."""
-        for i, tier in enumerate(self.tiers):
-            if tier.name == name:
-                return i
-        raise KeyError(f"no tier named {name!r}")
+        """Index of the tier called ``name`` (O(1); placement code asks
+        per window)."""
+        try:
+            return self._tier_index[name]
+        except KeyError:
+            raise KeyError(f"no tier named {name!r}") from None
 
     def placement_counts(self) -> np.ndarray:
         """Application pages per tier, shape ``(len(tiers),)``."""

@@ -81,6 +81,42 @@ class CompositeWorkload(Workload):
             tenant.reset()
 
 
+def tenant_placement_rows(
+    system, workload: "CompositeWorkload", profiles: list[str]
+) -> list[dict]:
+    """Per-tenant placement and TCO rows for a finished co-located run.
+
+    Compressed-tier cost is charged by the bytes each tenant actually
+    stores there (diverse compressibility is the whole point), byte-
+    addressable tiers by resident page count.
+    """
+    from repro.mem.page import PAGE_SIZE
+    from repro.mem.tier import CompressedTier
+
+    rows = []
+    dram_cost_per_page = system.dram.media.cost_per_page
+    for i, tenant in enumerate(workload.tenants):
+        start, end = workload.tenant_range(i)
+        locations = system.page_location[start:end]
+        cost = 0.0
+        row = {"tenant": tenant.name, "profile": profiles[i]}
+        for t_idx, tier in enumerate(system.tiers):
+            resident = int((locations == t_idx).sum())
+            row[tier.name] = resident
+            if isinstance(tier, CompressedTier):
+                cost += (
+                    tier.stored_bytes_in_range(start, end)
+                    / PAGE_SIZE
+                    * tier.media.cost_per_page
+                )
+            else:
+                cost += resident * tier.media.cost_per_page
+        tenant_max = tenant.num_pages * dram_cost_per_page
+        row["tco_savings_pct"] = 100 * (1 - cost / tenant_max)
+        rows.append(row)
+    return rows
+
+
 def composite_compressibility(
     tenants: list[Workload], profiles: list[str], seed: int = 0
 ) -> np.ndarray:

@@ -1,0 +1,76 @@
+"""Shared golden-file helpers for the engine-refactor equivalence tests.
+
+The goldens under ``tests/goldens/`` were captured from the pre-refactor
+drivers (the seed commit's hand-wired ``bench/experiments.py``) at fixed
+seeds.  ``normalise`` maps a driver result to plain JSON types with full
+float precision so "byte-identical" can be asserted on the serialized
+form; ``golden_text`` produces the exact bytes stored on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: The pinned drivers: name -> (driver kwargs).  Defaults mirror each
+#: driver's signature so the captured run is the documented default run.
+PINNED = {
+    "fig08_waterfall_trace": {"windows": 15, "seed": 0},
+    "fig10_knob_sweep": {"windows": 10, "seed": 0},
+    "fig14_tax": {"windows": 10, "seed": 0},
+}
+
+
+#: Keys holding *measured* wall-clock time (the solver backends time the
+#: real ILP solve) -- nondeterministic even on identical code, so they
+#: are zeroed before comparison.  Everything else is virtual-time and
+#: must match byte for byte.
+VOLATILE_KEYS = {
+    "solver_ms",
+    "solver_ns",
+    "tax_pct_of_app",  # derived from solver_ns for the -Local configs
+    "solver_queue_ns",
+}
+
+
+def normalise(value):
+    """Recursively convert a driver result to plain JSON types."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return normalise(asdict(value))
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return normalise(value.tolist())
+    if isinstance(value, dict):
+        return {
+            str(k): 0.0 if str(k) in VOLATILE_KEYS else normalise(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [normalise(v) for v in value]
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; json.dumps uses it already.
+        return value
+    return value
+
+
+def golden_text(result) -> str:
+    """The canonical serialized form compared byte-for-byte."""
+    return json.dumps(normalise(result), indent=2, sort_keys=True) + "\n"
+
+
+def capture() -> None:
+    """Write goldens from the *current* drivers (run once, pre-refactor)."""
+    from repro.bench import experiments
+
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, kwargs in PINNED.items():
+        driver = getattr(experiments, name)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(golden_text(driver(**kwargs)))
+        print(f"captured {path}")
+
+
+if __name__ == "__main__":
+    capture()

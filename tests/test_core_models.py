@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core import perf, tco
 from repro.core.knob import AM_PERF_ALPHA, AM_TCO_ALPHA, Knob
 from repro.core.metrics import RunSummary, weighted_percentile
-from repro.mem.page import PAGES_PER_REGION
 
 from tests.conftest import make_tiers
 

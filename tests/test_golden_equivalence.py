@@ -1,0 +1,24 @@
+"""Refactor-equivalence: drivers must match pre-refactor goldens.
+
+The files under ``tests/goldens/`` were serialized from the seed
+commit's hand-wired ``bench/experiments.py`` (before the drivers were
+rerouted through ``repro.engine.Session``) at the pinned seeds.  These
+tests assert the refactored drivers reproduce them byte for byte --
+i.e. the engine layer changed the plumbing, not a single number.
+
+Measured wall-clock fields (the solver times a real ILP solve) are
+zeroed on both sides; see ``tests/_goldens.py``.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from tests._goldens import GOLDEN_DIR, PINNED, golden_text
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_driver_matches_pre_refactor_golden(name):
+    driver = getattr(experiments, name)
+    got = golden_text(driver(**PINNED[name]))
+    want = (GOLDEN_DIR / f"{name}.json").read_text()
+    assert got == want, f"{name} diverged from the pre-refactor golden"

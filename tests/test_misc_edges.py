@@ -100,13 +100,15 @@ class TestRunnerProfileResolution:
 
 
 class TestCLIErrors:
-    def test_unknown_policy_propagates(self):
-        with pytest.raises(KeyError):
-            main(["policy", "masim", "numa-balancing", "--windows", "1"])
+    def test_unknown_policy_exits_2(self, capsys):
+        code = main(["policy", "masim", "numa-balancing", "--windows", "1"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err
 
-    def test_unknown_workload_propagates(self):
-        with pytest.raises(KeyError):
-            main(["policy", "hadoop", "gswap", "--windows", "1"])
+    def test_unknown_workload_exits_2(self, capsys):
+        code = main(["policy", "hadoop", "gswap", "--windows", "1"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
 
     def test_policy_with_alpha(self, capsys):
         code = main(

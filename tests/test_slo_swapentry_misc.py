@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.allocators.zsmalloc import ZsmallocAllocator
-from repro.core.knob import Knob
 from repro.core.slo import SLOController, run_sla_tuned
 from repro.mem.swapentry import (
     FLAG_ACCESSED,

@@ -1,6 +1,5 @@
 """Tests for the kernel-shaped zswap frontend."""
 
-import numpy as np
 import pytest
 
 from repro.mem.zswap import ZswapFrontend
