@@ -1,0 +1,65 @@
+"""Hot-path perf smoke benchmarks (CI: assert-finishes, not assert-fast).
+
+These wrap :mod:`repro.bench.perfbench` at the smoke preset so CI can
+prove the instrumented hot paths still run end to end on every Python
+version without timing anything meaningful on shared runners.  Real
+numbers come from ``python -m repro perfbench --out BENCH_hotpath.json``
+on a quiet machine; the committed ``BENCH_hotpath.json`` holds the
+pre-vectorization reference the ≥3x acceptance is measured against.
+
+Run with ``pytest benchmarks/perf -q`` (the tier-1 ``testpaths`` does not
+collect this directory).
+"""
+
+import json
+
+from repro.bench.perfbench import (
+    BENCH_NAMES,
+    bench_access_batch,
+    bench_fig08_e2e,
+    bench_migration_wave,
+    report_rows,
+    run_perfbench,
+)
+
+
+def test_access_batch_smoke():
+    result = bench_access_batch(num_pages=2048, ops=20_000, repeat=1)
+    assert result["accesses"] == 20_000
+    assert result["faults"] > 0
+    assert result["rate"] > 0
+
+
+def test_migration_wave_smoke():
+    result = bench_migration_wave(num_pages=2048, repeat=2)
+    assert result["pages_moved"] > 0
+    assert result["rate"] > 0
+
+
+def test_fig08_e2e_smoke():
+    result = bench_fig08_e2e(windows=2)
+    assert result["windows"] == 2
+    assert result["rate"] > 0
+
+
+def test_perfbench_report_roundtrip(tmp_path):
+    out = tmp_path / "bench.json"
+    report = run_perfbench(out=out, smoke=True)
+    assert report["preset"] == "smoke"
+    assert set(report["current"]) == set(BENCH_NAMES)
+    # First run has no committed reference at ``out``: it self-references.
+    assert all(s == 1.0 for s in report["speedup_vs_reference"].values())
+    on_disk = json.loads(out.read_text())
+    assert on_disk["current"].keys() == report["current"].keys()
+    rows = report_rows(report)
+    assert [row["benchmark"] for row in rows] == list(BENCH_NAMES)
+
+
+def test_perfbench_compares_against_committed_baseline(tmp_path):
+    out = tmp_path / "bench.json"
+    run_perfbench(out=out, smoke=True)
+    # Second run picks the first run's reference back up instead of
+    # rebaselining, so regressions are visible as speedup < 1.
+    report = run_perfbench(out=out, smoke=True)
+    assert report["reference"] is not None
+    assert all(s is not None for s in report["speedup_vs_reference"].values())

@@ -15,7 +15,7 @@ The two quantities the tiering models consume are:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.mem.page import PAGE_SIZE
 
@@ -24,9 +24,12 @@ class AllocationError(Exception):
     """Raised when a pool or arena cannot satisfy a request."""
 
 
-@dataclass(frozen=True)
-class Handle:
+class Handle(NamedTuple):
     """Opaque reference to a stored compressed object.
+
+    A named tuple rather than a dataclass: handles are minted on the
+    migration hot path (tens of thousands per wave) and tuple
+    construction is several times cheaper.
 
     Attributes:
         allocator: Name of the allocator that issued the handle.
@@ -53,6 +56,11 @@ class PoolAllocator(abc.ABC):
     #: Management overhead charged on each store or lookup, nanoseconds.
     mgmt_overhead_ns: float = 0.0
 
+    #: Worst-case pool-page growth of a single :meth:`store`.  Batched
+    #: migration uses it to prove a whole group of stores cannot hit the
+    #: tier capacity check; ``None`` disables that fast path.
+    max_pool_pages_per_store: int | None = None
+
     #: Largest storable object, bytes.  zswap rejects objects that compress
     #: to more than a page; individual allocators may be stricter.
     max_object_size: int = PAGE_SIZE
@@ -76,6 +84,23 @@ class PoolAllocator(abc.ABC):
     @abc.abstractmethod
     def pool_pages(self) -> int:
         """Pool pages currently backing the stored objects."""
+
+    # -- bulk operations ----------------------------------------------------
+
+    def store_many(self, sizes: list[int]) -> list[Handle]:
+        """Store objects in order; exactly ``[self.store(s) for s in sizes]``.
+
+        Subclasses may override with a loop-fused implementation, but the
+        resulting pool state and handles must stay identical to the
+        sequential calls (object ids and page packing are order-sensitive
+        and observable through :attr:`pool_pages`).
+        """
+        return [self.store(size) for size in sizes]
+
+    def free_many(self, handles: list[Handle]) -> None:
+        """Free objects in order; equivalent to sequential :meth:`free`."""
+        for handle in handles:
+            self.free(handle)
 
     # -- shared helpers -----------------------------------------------------
 

@@ -37,6 +37,8 @@ class ZbudAllocator(PoolAllocator):
     name = "zbud"
     mgmt_overhead_ns = 150.0
     max_objects_per_page = 2
+    #: A store claims at most one fresh pool page.
+    max_pool_pages_per_store = 1
 
     def __init__(self, arena_pages: int = 1 << 20) -> None:
         super().__init__()

@@ -11,8 +11,11 @@ overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 
-from repro.allocators.base import Handle, PoolAllocator
+import numpy as np
+
+from repro.allocators.base import AllocationError, Handle, PoolAllocator
 from repro.allocators.buddy import BuddyAllocator
 from repro.mem.page import PAGE_SIZE
 
@@ -53,7 +56,7 @@ def zspage_geometry(cls: int) -> tuple[int, int]:
     return best
 
 
-@dataclass
+@dataclass(slots=True)
 class _Zspage:
     pfn: int
     pages: int
@@ -70,6 +73,8 @@ class ZsmallocAllocator(PoolAllocator):
 
     name = "zsmalloc"
     mgmt_overhead_ns = 600.0
+    #: A store may open a fresh zspage spanning up to this many pages.
+    max_pool_pages_per_store = MAX_PAGES_PER_ZSPAGE
 
     def __init__(self, arena_pages: int = 1 << 20) -> None:
         super().__init__()
@@ -116,6 +121,105 @@ class ZsmallocAllocator(PoolAllocator):
             self._pool_pages -= zspage.pages
         elif was_full:
             self._partial.setdefault(cls, []).append(zspage)
+
+    def store_many(self, sizes: list[int]) -> list[Handle]:
+        # Batched equivalent of sequential store() calls (the bulk
+        # migration path issues tens of thousands per wave).  Object ids
+        # are assigned in input order, and within each size class objects
+        # pack into zspages in input order, so the resulting pool state
+        # matches the sequential calls exactly.  (Only the buddy
+        # allocator's internal pfn assignment differs, because fresh
+        # zspages for different classes are allocated grouped rather than
+        # interleaved; pfns are not observable through any handle or
+        # statistic, and the arena-exhaustion error path -- unreachable at
+        # simulated scales -- is the one place the mid-batch state could
+        # diverge.)
+        arr = np.asarray(sizes, dtype=np.int64)
+        n = arr.size
+        if n == 0:
+            return []
+        if (arr < 1).any() or (arr > self.max_object_size).any():
+            # Invalid sizes raise mid-batch with the preceding stores
+            # committed, exactly as sequential calls would.
+            return [self.store(size) for size in sizes]
+        # Round every size up to its class in one pass (floor division on
+        # the negated array is a ceil, as in ``size_class``).
+        classes = np.where(
+            arr <= MIN_CLASS, MIN_CLASS, -(-arr // CLASS_DELTA) * CLASS_DELTA
+        )
+        next_id = self._next_id
+        name = self.name
+        handles = list(map(Handle, repeat(name, n), range(next_id, next_id + n), sizes))
+        self._next_id = next_id + n
+        self.stored_bytes += int(arr.sum())
+        self.stored_objects += n
+        # Group object ids by class: a stable argsort makes each class's
+        # ids contiguous while preserving their input order.
+        order = np.argsort(classes, kind="stable")
+        sorted_cls = classes[order]
+        uniq, first = np.unique(classes, return_index=True)
+        starts = np.searchsorted(sorted_cls, uniq)
+        ends = np.append(starts[1:], n)
+        oid_arr = order + next_id
+        partial_map = self._partial
+        zspage_of = self._zspage_of
+        class_of = self._class_of
+        # Visit classes in first-occurrence order so partial-list creation
+        # order matches the sequential loop.
+        for k in np.argsort(first, kind="stable").tolist():
+            cls = int(uniq[k])
+            ids = oid_arr[starts[k] : ends[k]].tolist()
+            class_of.update(dict.fromkeys(ids, cls))
+            partial = partial_map.get(cls)
+            if partial is None:
+                partial = partial_map[cls] = []
+            pos = 0
+            m = len(ids)
+            while pos < m:
+                if partial:
+                    zspage = partial[-1]
+                else:
+                    pages, capacity = zspage_geometry(cls)
+                    pfn = self._buddy.alloc(pages)
+                    zspage = _Zspage(pfn=pfn, pages=pages, capacity=capacity)
+                    self._pool_pages += pages
+                    partial.append(zspage)
+                objects = zspage.objects
+                take = ids[pos : pos + zspage.capacity - len(objects)]
+                objects.update(take)
+                zspage_of.update(dict.fromkeys(take, zspage))
+                pos += len(take)
+                if len(objects) >= zspage.capacity:
+                    partial.remove(zspage)
+        return handles
+
+    def free_many(self, handles: list[Handle]) -> None:
+        # Loop-fused equivalent of sequential free() calls; see store_many.
+        zspage_of = self._zspage_of
+        class_of = self._class_of
+        partial_map = self._partial
+        buddy_free = self._buddy.free
+        name = self.name
+        for handle in handles:
+            if handle.allocator != name:
+                raise AllocationError(
+                    f"handle from {handle.allocator!r} freed on {name!r}"
+                )
+            self.stored_bytes -= handle.size
+            self.stored_objects -= 1
+            object_id = handle.object_id
+            zspage = zspage_of.pop(object_id)
+            cls = class_of.pop(object_id)
+            objects = zspage.objects
+            was_full = len(objects) >= zspage.capacity
+            objects.remove(object_id)
+            if not objects:
+                if not was_full:
+                    partial_map[cls].remove(zspage)
+                buddy_free(zspage.pfn)
+                self._pool_pages -= zspage.pages
+            elif was_full:
+                partial_map.setdefault(cls, []).append(zspage)
 
     @property
     def pool_pages(self) -> int:

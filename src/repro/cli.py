@@ -309,6 +309,36 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_perfbench(args) -> int:
+    from repro.bench.perfbench import report_rows, run_perfbench
+
+    if args.out is None:
+        # A smoke run's rates are not comparable with full runs: never
+        # let the preset clobber the default report path unless the user
+        # pointed --out somewhere explicitly.
+        out = None if args.smoke else "BENCH_hotpath.json"
+    else:
+        out = None if args.out == "-" else args.out
+    report = run_perfbench(
+        out=out,
+        baseline=args.baseline,
+        smoke=args.smoke,
+        rebaseline=args.rebaseline,
+        seed=args.seed,
+    )
+    print(format_table(report_rows(report), title="Hot-path benchmarks"))
+    speedups = [
+        s for s in report["speedup_vs_reference"].values() if s is not None
+    ]
+    if speedups:
+        e2e = report["speedup_vs_reference"].get("fig08_e2e")
+        if e2e is not None:
+            print(f"end-to-end fig08 windows/sec: {e2e:.2f}x vs reference")
+    if out:
+        print(f"report written to {out}")
+    return 0
+
+
 def cmd_workloads(_args) -> int:
     print(format_table(experiments.tab02_workloads(), title="Workloads (Table 2)"))
     return 0
@@ -422,6 +452,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-window event export path (.jsonl/.json/.csv)",
     )
     fleet.set_defaults(func=cmd_fleet)
+
+    perfbench = sub.add_parser(
+        "perfbench", help="run the hot-path performance benchmarks"
+    )
+    perfbench.add_argument(
+        "--out",
+        default=None,
+        help="report path (default BENCH_hotpath.json, or unwritten with "
+        "--smoke); '-' skips writing",
+    )
+    perfbench.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report to compare against (default: --out if present)",
+    )
+    perfbench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke preset: tiny sizes, asserts the benches finish",
+    )
+    perfbench.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="store this run as the new reference",
+    )
+    perfbench.add_argument("--seed", type=int, default=0)
+    perfbench.set_defaults(func=cmd_perfbench)
 
     sub.add_parser("workloads", help="print the workload registry").set_defaults(
         func=cmd_workloads

@@ -47,12 +47,17 @@ POLICY_NAMES = (
 
 
 def build_system(
-    workload: Workload, mix: str = "standard", seed: int = 0
+    workload: Workload,
+    mix: str = "standard",
+    seed: int = 0,
+    fast_same_algo_migration: bool = False,
 ) -> TieredMemorySystem:
     """Build an address space + tier mix sized for ``workload``.
 
     The address-space compressibility profile comes from the workload's
     registry entry when it has one, otherwise ``"mixed"``.
+    ``fast_same_algo_migration`` turns on the §7.1 compressed-object
+    copy path on the built system.
     """
     profile = "mixed"
     for spec in WORKLOADS.values():
@@ -70,7 +75,11 @@ def build_system(
         raise KeyError(
             f"unknown tier mix {mix!r}; available: {sorted(MIXES)}"
         ) from None
-    return TieredMemorySystem(mix_factory(space), space)
+    return TieredMemorySystem(
+        mix_factory(space),
+        space,
+        fast_same_algo_migration=fast_same_algo_migration,
+    )
 
 
 def make_policy(

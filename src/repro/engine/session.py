@@ -28,6 +28,10 @@ from repro.workloads.registry import make_workload
 FAULT_BURST_FACTOR = 2.0
 #: ...and at least this many pages faulted (suppresses noise bursts).
 FAULT_BURST_MIN = 16
+#: Windows in the trailing mean.  The history must be bounded: an
+#: all-time mean lets a long quiet prefix permanently suppress burst
+#: detection late in a run.
+FAULT_BURST_WINDOW = 8
 
 
 class NullModel:
@@ -79,7 +83,12 @@ class Session:
         self.system = (
             system
             if system is not None
-            else build_system(self.workload, mix=spec.mix, seed=spec.seed)
+            else build_system(
+                self.workload,
+                mix=spec.mix,
+                seed=spec.seed,
+                fast_same_algo_migration=spec.fast_same_algo_migration,
+            )
         )
         self.policy = (
             policy
@@ -160,6 +169,8 @@ class Session:
                     "fault_burst", window, faults=faults, trailing_mean=mean
                 )
         history.append(faults)
+        if len(history) > FAULT_BURST_WINDOW:
+            del history[: len(history) - FAULT_BURST_WINDOW]
 
     def run(self, windows: int | None = None) -> RunSummary:
         """Drive the loop for ``windows`` (default: the spec's count)."""

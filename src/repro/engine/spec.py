@@ -74,6 +74,8 @@ class ScenarioSpec:
         sampling_rate: PEBS period; must be >= 1.
         cooling: Hotness EWMA cooling per window; must be in ``[0, 1]``.
         push_threads: Migration parallelism.
+        fast_same_algo_migration: Enable the §7.1 compressed-object copy
+            path between same-algorithm compressed tiers.
         recency_windows: Demotions skip pages accessed this recently.
         prefetch_degree: Spatial-prefetcher degree; ``None`` disables.
         windows: Profile windows to run.
@@ -96,6 +98,7 @@ class ScenarioSpec:
     sampling_rate: int = 100
     cooling: float = 0.5
     push_threads: int = 2
+    fast_same_algo_migration: bool = False
     recency_windows: int = 1
     prefetch_degree: int | None = None
     windows: int = 10

@@ -72,15 +72,13 @@ class MigrationEngine:
         """
         wave_ns = 0.0
         for region_id, dst_idx in sorted(moves.items()):
-            before = self.system.placement_counts()
+            moved_before = self.system.migrated_pages
             ns = self.system.move_region(
                 region_id, dst_idx, recency_windows=self.recency_windows
             )
-            after = self.system.placement_counts()
-            moved = int(abs(after - before).sum()) // 2
             if ns > 0.0:
                 self.stats.regions_moved += 1
-            self.stats.pages_moved += moved
+            self.stats.pages_moved += self.system.migrated_pages - moved_before
             wave_ns += ns
         self.stats.serial_ns += wave_ns
         self.stats.waves += 1

@@ -27,7 +27,13 @@ from repro.allocators.base import AllocationError
 from repro.mem.address_space import AddressSpace
 from repro.mem.page import PAGE_SIZE
 from repro.mem.stats import ClockStats
-from repro.mem.tier import CHUNK_BYTES, ByteAddressableTier, CompressedTier, Tier
+from repro.mem.tier import (
+    CHUNK_BYTES,
+    REJECT_RATIO,
+    ByteAddressableTier,
+    CompressedTier,
+    Tier,
+)
 
 #: 4 KB page copy cost in streaming chunks.
 _PAGE_CHUNKS = PAGE_SIZE // CHUNK_BYTES
@@ -61,11 +67,20 @@ class TieredMemorySystem:
             tier (DRAM by convention) -- it is the promotion target and the
             performance baseline (Eq. 3).
         address_space: The application's pages and compressibility map.
+        fast_same_algo_migration: Enable the paper's §7.1 optimization:
+            migrating between two compressed tiers that share a
+            compression algorithm copies the compressed object instead
+            of decompressing and recompressing.
 
     All pages start resident in ``tiers[0]``.
     """
 
-    def __init__(self, tiers: list[Tier], address_space: AddressSpace) -> None:
+    def __init__(
+        self,
+        tiers: list[Tier],
+        address_space: AddressSpace,
+        fast_same_algo_migration: bool = False,
+    ) -> None:
         if not tiers:
             raise ValueError("need at least one tier")
         if not isinstance(tiers[0], ByteAddressableTier):
@@ -80,6 +95,9 @@ class TieredMemorySystem:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate tier names: {names}")
         self.tiers = tiers
+        # Instance (not class) state: setting it on the class would leak
+        # the §7.1 fast path into every system in the process.
+        self.fast_same_algo_migration = fast_same_algo_migration
         self._tier_index = {name: i for i, name in enumerate(names)}
         self.space = address_space
         self.clock = ClockStats()
@@ -95,6 +113,15 @@ class TieredMemorySystem:
         self._byte_tier_indices = [
             i for i, t in enumerate(tiers) if isinstance(t, ByteAddressableTier)
         ]
+        #: Pages that actually changed tier via the migration path.
+        self.migrated_pages = 0
+        # Lazy per-(tier, page) memoization of the compression model.
+        # Entries are filled by the *scalar* code path the first time a
+        # page meets a tier, so the batched paths reuse bit-identical
+        # values instead of re-deriving them (np.power is not bitwise
+        # equal to scalar ``**``).  0 / -1 mark unset slots.
+        self._csize_cache: dict[int, np.ndarray] = {}
+        self._accepts_cache: dict[int, np.ndarray] = {}
 
     # -- small helpers -------------------------------------------------------
 
@@ -114,6 +141,57 @@ class TieredMemorySystem:
     def placement_counts(self) -> np.ndarray:
         """Application pages per tier, shape ``(len(tiers),)``."""
         return np.bincount(self.page_location, minlength=len(self.tiers))
+
+    def _tier_csizes(self, tier_idx: int, page_ids: np.ndarray) -> np.ndarray:
+        """Per-page compressed sizes at ``tiers[tier_idx]`` (memoized)."""
+        cache = self._csize_cache.get(tier_idx)
+        if cache is None:
+            cache = np.zeros(self.space.num_pages, dtype=np.int64)
+            self._csize_cache[tier_idx] = cache
+        missing = page_ids[cache[page_ids] == 0]
+        if missing.size:
+            algo = self.tiers[tier_idx].algorithm
+            values = self.space.compressibility[missing]
+            if (values <= 0.0).any() or (values > 1.0).any():
+                # Out-of-domain data: take the validating scalar path so
+                # the error surface matches compressed_size() exactly.
+                cache[missing] = [
+                    algo.compressed_size(float(c)) for c in values.tolist()
+                ]
+            else:
+                # Inlined compressed_size(): scalar ``**`` (np.power is
+                # not bit-identical) then vectorized clamp/round, which
+                # matches min/max/round() element for element.
+                s = algo.strength
+                ratios = np.array([c**s for c in values.tolist()])
+                sizes = np.rint(
+                    np.minimum(1.0, np.maximum(0.02, ratios)) * PAGE_SIZE
+                ).astype(np.int64)
+                cache[missing] = np.maximum(1, sizes)
+        return cache[page_ids]
+
+    def _tier_accepts(self, tier_idx: int, page_ids: np.ndarray) -> np.ndarray:
+        """Per-page zswap admission at ``tiers[tier_idx]`` (memoized)."""
+        cache = self._accepts_cache.get(tier_idx)
+        if cache is None:
+            cache = np.full(self.space.num_pages, -1, dtype=np.int8)
+            self._accepts_cache[tier_idx] = cache
+        missing = page_ids[cache[page_ids] < 0]
+        if missing.size:
+            tier = self.tiers[tier_idx]
+            values = self.space.compressibility[missing]
+            if (values <= 0.0).any() or (values > 1.0).any():
+                cache[missing] = [
+                    tier.accepts(float(c)) for c in values.tolist()
+                ]
+            else:
+                # Inlined accepts(): ratio < REJECT_RATIO with scalar ``**``.
+                s = tier.algorithm.strength
+                ratios = np.array([c**s for c in values.tolist()])
+                cache[missing] = (
+                    np.minimum(1.0, np.maximum(0.02, ratios)) < REJECT_RATIO
+                )
+        return cache[page_ids] == 1
 
     # -- access path ----------------------------------------------------------
 
@@ -138,7 +216,13 @@ class TieredMemorySystem:
         result = BatchResult()
         if len(page_ids) == 0:
             return result
-        pages, counts = np.unique(np.asarray(page_ids), return_counts=True)
+        # bincount + nonzero produces the same sorted (pages, counts) as
+        # np.unique(..., return_counts=True) without the O(n log n) sort.
+        all_counts = np.bincount(
+            np.asarray(page_ids), minlength=self.space.num_pages
+        )
+        pages = np.nonzero(all_counts)[0]
+        counts = all_counts[pages]
         self.last_access_window[pages] = self.current_window
         total = int(counts.sum())
         result.accesses = total
@@ -173,26 +257,72 @@ class TieredMemorySystem:
         result: BatchResult,
         write_fraction: float,
     ) -> None:
-        """Serve accesses to pages resident in a compressed tier."""
-        target_idx = self._promotion_target()
-        target = self.tiers[target_idx]
-        assert isinstance(target, ByteAddressableTier)
-        for pid, count in zip(page_ids.tolist(), counts.tolist()):
-            fault_ns = tier.remove_page(pid, fault=True)
-            fault_ns += target.media.write_ns * _PAGE_CHUNKS  # place the page
-            target.add_pages(1)
-            self.page_location[pid] = target_idx
-            tier.stats.accesses += 1
-            result.faults += 1
-            result.faulted_pages.append(pid)
-            result.access_ns += fault_ns
-            result.latency_histogram.append((fault_ns, 1))
-            if count > 1:
-                rest = count - 1
-                ns = target.access_ns(rest, write_fraction)
-                target.stats.accesses += rest
-                result.access_ns += ns
-                result.latency_histogram.append((ns / rest, rest))
+        """Serve accesses to pages resident in a compressed tier.
+
+        Batched: the whole group is removed from the compressed tier in
+        one bulk call, promotion targets are resolved by *capacity
+        slices* (a filling DRAM tier spills the remainder of the batch
+        to the next byte tier instead of failing mid-batch), and the
+        latency model is evaluated elementwise over the group.  The
+        float accumulation into ``result.access_ns`` walks the pages in
+        the original order so totals stay bit-identical to the old
+        per-page loop.
+        """
+        n = len(page_ids)
+        # Atomicity: refuse the batch before any state is charged, not
+        # after earlier pages already mutated clock and stats.
+        byte_free = sum(self.tiers[i].free_pages for i in self._byte_tier_indices)
+        if byte_free < n:
+            raise AllocationError(
+                "no byte-addressable tier has room to promote a faulted page; "
+                "size tiers[0] to hold the whole address space"
+            )
+        pids = page_ids.tolist()
+        fault_ns = tier.remove_pages_bulk(pids, fault=True)
+        tier.stats.accesses += n
+        result.faults += n
+        result.faulted_pages.extend(pids)
+
+        # Promotion targets by capacity slice: fill the fastest byte
+        # tier with room, then re-resolve for the remainder.
+        targets = np.empty(n, dtype=self.page_location.dtype)
+        rest = np.maximum(counts - 1, 0)
+        rest_ns = np.zeros(n, dtype=np.float64)
+        start = 0
+        while start < n:
+            target_idx = self._promotion_target()
+            target = self.tiers[target_idx]
+            assert isinstance(target, ByteAddressableTier)
+            take = min(n - start, target.free_pages)
+            stop = start + take
+            target.add_pages(take)
+            targets[start:stop] = target_idx
+            fault_ns[start:stop] += target.media.write_ns * _PAGE_CHUNKS
+            slice_rest = int(rest[start:stop].sum())
+            if slice_rest:
+                # Per-page cost of the post-promotion accesses, exactly
+                # as ``target.access_ns(rest, wf)`` computes it.
+                per_access = target.media.read_ns * (
+                    1.0 - write_fraction
+                ) + target.media.write_ns * write_fraction
+                rest_ns[start:stop] = rest[start:stop] * per_access
+                target.stats.accesses += slice_rest
+            start = stop
+        self.page_location[page_ids] = targets
+
+        # Ordered scalar accumulation: float addition is not
+        # associative, and these sums feed the byte-identical goldens --
+        # the running total must grow in the same per-page order (and
+        # from the same starting value) as the old loop.
+        access_ns = result.access_ns
+        histogram = result.latency_histogram
+        for f_ns, r, r_ns in zip(fault_ns.tolist(), rest.tolist(), rest_ns.tolist()):
+            access_ns += f_ns
+            histogram.append((f_ns, 1))
+            if r:
+                access_ns += r_ns
+                histogram.append((r_ns / r, r))
+        result.access_ns = access_ns
 
     def _promotion_target(self) -> int:
         """Fastest byte-addressable tier with room for one more page."""
@@ -224,11 +354,6 @@ class TieredMemorySystem:
                     return src_idx
                 return self._promotion_target()
         return dst_idx
-
-    #: Enable the paper's §7.1 optimization: migrating between two
-    #: compressed tiers that share a compression algorithm copies the
-    #: compressed object instead of decompressing and recompressing.
-    fast_same_algo_migration = False
 
     def move_page(self, page_id: int, dst_idx: int) -> float:
         """Migrate one page; returns daemon nanoseconds charged.
@@ -263,6 +388,7 @@ class TieredMemorySystem:
         ):
             ns += self._move_compressed_object(page_id, src, dst, intrinsic)
             self.page_location[page_id] = dst_idx
+            self.migrated_pages += 1
             self.clock.migration_ns += ns
             return ns
         if isinstance(src, CompressedTier):
@@ -276,6 +402,7 @@ class TieredMemorySystem:
             dst.add_pages(1)
             ns += dst.media.write_ns * _PAGE_CHUNKS
         self.page_location[page_id] = dst_idx
+        self.migrated_pages += 1
         self.clock.migration_ns += ns
         return ns
 
@@ -320,19 +447,179 @@ class TieredMemorySystem:
                 everything.
         """
         region = self.space.regions[region_id]
-        ns = 0.0
+        pages = region.pages()
+        page_ids = np.arange(pages.start, pages.stop, dtype=np.int64)
         if self.tiers[dst_idx].is_compressed and recency_windows > 0:
             cutoff = self.current_window - recency_windows
-            recent = self.last_access_window
-            for pid in region.pages():
-                if recent[pid] > cutoff:
-                    continue
-                ns += self.move_page(pid, dst_idx)
-        else:
-            for pid in region.pages():
-                ns += self.move_page(pid, dst_idx)
+            page_ids = page_ids[self.last_access_window[page_ids] <= cutoff]
+        ns = self._move_pages(page_ids, dst_idx)
         region.assigned_tier = dst_idx
         return ns
+
+    def _move_pages_scalar(self, page_ids: np.ndarray, dst_idx: int) -> float:
+        """Reference per-page move path (exact historical semantics).
+
+        The batched :meth:`_move_pages` falls back to this whenever its
+        fast-path preconditions cannot prove the group free of capacity
+        redirects or mid-batch failures; the property tests also use it
+        as the equivalence oracle.
+        """
+        ns = 0.0
+        for pid in page_ids.tolist():
+            ns += self.move_page(pid, dst_idx)
+        return ns
+
+    def _move_pages(self, page_ids: np.ndarray, dst_idx: int) -> float:
+        """Batched :meth:`move_page` over ``page_ids`` (kept in order).
+
+        The group is resolved with vectorized admission lookups and a
+        single capacity proof per destination; allocator stores/frees
+        still execute per page in the original order (object ids and
+        zspage packing are order-sensitive), while all latency math and
+        statistics are evaluated over the whole group.  Totals feed the
+        byte-identical goldens, so the final clock accumulation walks
+        the per-page costs in order.
+        """
+        if len(page_ids) == 0:
+            return 0.0
+        dst = self.tiers[dst_idx]
+        locations = self.page_location[page_ids]
+        mover_mask = locations != dst_idx
+        if not mover_mask.any():
+            return 0.0
+        pids = page_ids[mover_mask]
+        srcs = locations[mover_mask]
+        n = len(pids)
+
+        byte_mask = np.zeros(len(self.tiers), dtype=bool)
+        byte_mask[self._byte_tier_indices] = True
+        src_is_byte = byte_mask[srcs]
+
+        promo_idx = None
+        if isinstance(dst, CompressedTier):
+            if self.fast_same_algo_migration and not src_is_byte.all():
+                # The §7.1 compressed-object copy path has its own cost
+                # model; keep it on the scalar reference path.
+                return self._move_pages_scalar(pids, dst_idx)
+            store_mask = self._tier_accepts(dst_idx, pids)
+            n_store = int(store_mask.sum())
+            growth = dst.allocator.max_pool_pages_per_store
+            if (
+                growth is None
+                or dst.free_pages <= 0
+                or dst.used_pages + n_store * growth > dst.capacity_pages
+            ):
+                return self._move_pages_scalar(pids, dst_idx)
+            promo_mask = ~store_mask & ~src_is_byte
+            n_promo = int(promo_mask.sum())
+            if n_promo:
+                promo_idx = next(
+                    (
+                        i
+                        for i in self._byte_tier_indices
+                        if self.tiers[i].free_pages > 0
+                    ),
+                    None,
+                )
+                if promo_idx is None or self.tiers[promo_idx].free_pages < n_promo:
+                    return self._move_pages_scalar(pids, dst_idx)
+            # Rejected pages already in a byte tier stay put (ns = 0).
+            stay_mask = ~store_mask & src_is_byte
+            if stay_mask.any():
+                keep = ~stay_mask
+                pids, srcs = pids[keep], srcs[keep]
+                src_is_byte = src_is_byte[keep]
+                store_mask, promo_mask = store_mask[keep], promo_mask[keep]
+                n = len(pids)
+                if n == 0:
+                    return 0.0
+        else:
+            if dst.free_pages < n:
+                return self._move_pages_scalar(pids, dst_idx)
+            store_mask = np.zeros(n, dtype=bool)
+            promo_mask = np.zeros(n, dtype=bool)
+
+        # -- grouped state mutation (each tier keeps its own call order,
+        # which is all the allocator packing depends on; tiers own
+        # distinct allocators, so per-tier groups commute)
+        store_cs = np.zeros(n, dtype=np.int64)
+        if store_mask.any():
+            store_cs[store_mask] = self._tier_csizes(dst_idx, pids[store_mask])
+        tiers = self.tiers
+        src_indices, src_counts = np.unique(srcs, return_counts=True)
+        removed_cs = np.zeros(n, dtype=np.int64)
+        for t_idx in src_indices.tolist():
+            tier = tiers[t_idx]
+            if tier.is_compressed:
+                group = srcs == t_idx
+                removed_cs[group] = tier.pop_pages_bulk(pids[group].tolist())
+        if store_mask.any():
+            dst.store_prepared_bulk(
+                pids[store_mask].tolist(), store_cs[store_mask].tolist()
+            )
+
+        # -- batched byte-tier residency + statistics
+        for t_idx, count in zip(src_indices.tolist(), src_counts.tolist()):
+            tier = tiers[t_idx]
+            if tier.is_compressed:
+                tier.stats.pages_out += count
+                tier.stats.compressed_bytes -= int(
+                    removed_cs[srcs == t_idx].sum()
+                )
+            else:
+                tier.remove_pages(count)
+        if isinstance(dst, CompressedTier):
+            n_store = int(store_mask.sum())
+            dst.stats.pages_in += n_store
+            dst.stats.stores += n_store
+            dst.stats.compressed_bytes += int(store_cs.sum())
+            n_promo = int(promo_mask.sum())
+            if n_promo:
+                tiers[promo_idx].add_pages(n_promo)
+        else:
+            dst.add_pages(n)
+
+        # -- vectorized latency model (identical ops to move_page)
+        per_ns = np.zeros(n, dtype=np.float64)
+        removed_f = removed_cs.astype(np.float64)
+        for t_idx in src_indices.tolist():
+            tier = tiers[t_idx]
+            group = srcs == t_idx
+            if tier.is_compressed:
+                fixed = (
+                    tier.allocator.mgmt_overhead_ns
+                    + tier.algorithm.decompress_ns()
+                )
+                per_ns[group] = fixed + tier.media.read_ns * np.ceil(
+                    removed_f[group] / CHUNK_BYTES
+                )
+            else:
+                per_ns[group] = tier.media.read_ns * _PAGE_CHUNKS
+        if isinstance(dst, CompressedTier):
+            fixed = dst.allocator.mgmt_overhead_ns + dst.algorithm.compress_ns()
+            per_ns[store_mask] += fixed + dst.media.write_ns * np.ceil(
+                store_cs[store_mask].astype(np.float64) / CHUNK_BYTES
+            )
+            if promo_mask.any():
+                per_ns[promo_mask] += (
+                    tiers[promo_idx].media.write_ns * _PAGE_CHUNKS
+                )
+        else:
+            per_ns += dst.media.write_ns * _PAGE_CHUNKS
+
+        # -- final placement + ordered clock accumulation
+        resolved = np.full(n, dst_idx, dtype=self.page_location.dtype)
+        if promo_mask.any():
+            resolved[promo_mask] = promo_idx
+        self.page_location[pids] = resolved
+        self.migrated_pages += n
+        clock_ns = self.clock.migration_ns
+        total = 0.0
+        for value in per_ns.tolist():
+            clock_ns += value
+            total += value
+        self.clock.migration_ns = clock_ns
+        return total
 
     def advance_window(self) -> None:
         """Tick the recency clock; the daemon calls this once per window."""

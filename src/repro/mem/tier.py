@@ -22,7 +22,9 @@ adds a constant, and an Optane backing stretches the media term by ~3x.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
 
 from repro.allocators.base import AllocationError, Handle, PoolAllocator
 from repro.allocators.zsmalloc import size_class
@@ -125,8 +127,7 @@ class ByteAddressableTier(Tier):
         return self.media.cost_per_page
 
 
-@dataclass(frozen=True)
-class _StoredPage:
+class _StoredPage(NamedTuple):
     handle: Handle
     compressed_size: int
 
@@ -279,6 +280,78 @@ class CompressedTier(Tier):
         if fault:
             self.stats.faults += 1
         return latency
+
+    def pop_page(self, page_id: int) -> int:
+        """Free a stored page without the latency math; returns its csize.
+
+        Bulk-migration primitive: the caller batches the statistics and
+        computes latencies vectorized.  Pool frees still happen one call
+        at a time, in the caller's order, so the allocator's packing
+        trajectory matches the scalar path exactly.
+        """
+        stored = self._stored.pop(page_id)
+        self.allocator.free(stored.handle)
+        return stored.compressed_size
+
+    def store_prepared(self, page_id: int, csize: int) -> None:
+        """Store with a precomputed csize; admission/capacity pre-checked.
+
+        Bulk-migration primitive, the dual of :meth:`pop_page`: the
+        caller has already verified acceptance and proven the pool
+        cannot overflow for the whole batch.
+        """
+        handle = self.allocator.store(csize)
+        self._stored[page_id] = _StoredPage(handle=handle, compressed_size=csize)
+
+    def store_prepared_bulk(self, page_ids: list[int], csizes: list[int]) -> None:
+        """Exact batched equivalent of :meth:`store_prepared` in order."""
+        handles = self.allocator.store_many(csizes)
+        stored = self._stored
+        for page_id, handle, csize in zip(page_ids, handles, csizes):
+            stored[page_id] = _StoredPage(handle=handle, compressed_size=csize)
+
+    def pop_pages_bulk(self, page_ids: list[int]) -> list[int]:
+        """Exact batched equivalent of :meth:`pop_page` in order.
+
+        Returns:
+            The compressed sizes of the popped pages, in call order.
+        """
+        pop = self._stored.pop
+        stored = [pop(pid) for pid in page_ids]
+        self.allocator.free_many([s.handle for s in stored])
+        return [s.compressed_size for s in stored]
+
+    def remove_pages_bulk(
+        self, page_ids: list[int], *, fault: bool = False
+    ) -> np.ndarray:
+        """Release many stored pages; returns per-page latencies.
+
+        Exact batched equivalent of calling :meth:`remove_page` for each
+        id in order (pool frees happen in the given order, so the
+        allocator's page-packing trajectory is unchanged); the latency
+        model is evaluated once over the whole batch instead of per call.
+        """
+        pop = self._stored.pop
+        entries = []
+        try:
+            for pid in page_ids:
+                entries.append(pop(pid))
+        except KeyError:
+            raise AllocationError(
+                f"page {pid} is not stored in tier {self.name}"
+            ) from None
+        self.allocator.free_many([s.handle for s in entries])
+        csizes = [s.compressed_size for s in entries]
+        total_csize = sum(csizes)
+        n = len(csizes)
+        self.stats.pages_out += n
+        self.stats.compressed_bytes -= total_csize
+        if fault:
+            self.stats.faults += n
+        fixed = self.allocator.mgmt_overhead_ns + self.algorithm.decompress_ns()
+        return fixed + self.media.read_ns * np.ceil(
+            np.asarray(csizes, dtype=np.float64) / CHUNK_BYTES
+        )
 
     # -- planning cost ------------------------------------------------------
 

@@ -57,21 +57,28 @@ def solve_greedy(problem: PlacementProblem) -> Solution:
     t0 = time.perf_counter_ns()
     num_regions = problem.num_regions
     num_tiers = problem.num_tiers
-    remaining = (
-        problem.capacity.astype(np.float64).copy()
-        if problem.capacity is not None
-        else None
-    )
+    # Negative capacity entries are the "unbounded" sentinel.  Freeze that
+    # interpretation up front: ``remaining`` itself must never go negative,
+    # or a forced overflow (every undominated option full) would turn a
+    # *full* tier into an unbounded one for the rest of the solve.
+    if problem.capacity is not None:
+        remaining = problem.capacity.astype(np.float64).copy()
+        unbounded = remaining < 0
+    else:
+        remaining = None
+        unbounded = None
 
     def has_room(tier: int) -> bool:
-        return remaining is None or remaining[tier] < 0 or remaining[tier] > 0
+        return remaining is None or unbounded[tier] or remaining[tier] > 0
 
     def take(tier: int) -> None:
-        if remaining is not None and remaining[tier] >= 0:
+        # Clamp at 0: a forced overflow may take from a full tier, which
+        # must stay "full", not underflow into the unbounded sentinel.
+        if remaining is not None and not unbounded[tier] and remaining[tier] > 0:
             remaining[tier] -= 1
 
     def give_back(tier: int) -> None:
-        if remaining is not None and remaining[tier] >= 0:
+        if remaining is not None and not unbounded[tier]:
             remaining[tier] += 1
 
     options: list[list[tuple[float, float, int]]] = []

@@ -39,6 +39,10 @@ class PEBSSampler:
         self.samples_taken = 0
         self.events_seen = 0
         self.overhead_ns = 0.0
+        # Reused across calls; ``rng.random(out=...)`` consumes the stream
+        # identically to ``rng.random(size)``.
+        self._scr_u: np.ndarray | None = None
+        self._scr_keep: np.ndarray | None = None
 
     def sample(self, page_ids: np.ndarray) -> np.ndarray:
         """Thin a batch of accessed page ids down to the sampled subset.
@@ -54,7 +58,14 @@ class PEBSSampler:
         if self.rate == 1:
             sampled = page_ids
         else:
-            keep = self._rng.random(len(page_ids)) < (1.0 / self.rate)
+            n = len(page_ids)
+            if self._scr_u is None or self._scr_u.size < n:
+                self._scr_u = np.empty(n)
+                self._scr_keep = np.empty(n, dtype=bool)
+            u = self._scr_u[:n]
+            self._rng.random(out=u)
+            keep = self._scr_keep[:n]
+            np.less(u, 1.0 / self.rate, out=keep)
             sampled = page_ids[keep]
         self.samples_taken += len(sampled)
         self.overhead_ns += len(sampled) * SAMPLE_HANDLING_NS

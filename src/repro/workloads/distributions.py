@@ -21,6 +21,16 @@ import numpy as np
 class ZipfianGenerator:
     """Rank-based Zipfian sampler (YCSB's zipfian constant 0.99).
 
+    Sampling inverts the CDF exactly the way ``rng.choice(n, p=...)``
+    does (one uniform draw per sample, ``searchsorted(..., 'right')``
+    semantics), so the output stream is bit-identical to the
+    ``rng.choice`` implementation this replaces -- but the CDF is
+    normalised once at construction and the binary search is replaced
+    by a bucket table: bucket ``b`` of ``[0, 1)`` caches the smallest
+    rank any draw in that bucket can map to, leaving only a short
+    vectorized walk over the few draws that land on a bucket straddling
+    CDF steps.
+
     Args:
         n: Item-space size.
         theta: Skew; 0 = uniform, YCSB default 0.99.
@@ -35,10 +45,89 @@ class ZipfianGenerator:
         self.theta = theta
         weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
         self._probabilities = weights / weights.sum()
+        # rng.choice normalises the probabilities the same way before
+        # searching; replicating the exact expression keeps the CDF (and
+        # therefore every sampled rank) bit-identical.
+        cdf = self._probabilities.cumsum()
+        cdf /= cdf[-1]
+        self._cdf = cdf
+        # ~16 buckets per rank keeps the straddler fraction (and the walk
+        # below) short; capped so huge item spaces stay at a 1 MB table.
+        buckets = 1024
+        while buckets < 16 * n and buckets < (1 << 17):
+            buckets <<= 1
+        self._buckets = buckets
+        edges = cdf.searchsorted(
+            np.arange(buckets + 1) / buckets, side="right"
+        )
+        self._bucket_lo = edges[:-1]
+        # Bucket b is *exact* when no CDF step falls inside it: every draw
+        # landing there maps to rank bucket_lo[b] with no verification.
+        self._bucket_exact = edges[1:] == edges[:-1]
+        # Reusable scratch (uniform draws, bucket ids, walk mask): windows
+        # sample hundreds of thousands of draws, and re-faulting fresh
+        # multi-MB arrays per call costs more than the arithmetic on them.
+        self._scr_u: np.ndarray | None = None
+        self._scr_f: np.ndarray | None = None
+        self._scr_b: np.ndarray | None = None
+        self._scr_m: np.ndarray | None = None
+
+    def _scratch(self, size: int) -> tuple[np.ndarray, ...]:
+        if self._scr_u is None or self._scr_u.size < size:
+            self._scr_u = np.empty(size)
+            self._scr_f = np.empty(size)
+            self._scr_b = np.empty(size, dtype=np.int64)
+            self._scr_m = np.empty(size, dtype=bool)
+        return (
+            self._scr_u[:size],
+            self._scr_f[:size],
+            self._scr_b[:size],
+            self._scr_m[:size],
+        )
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
-        """Draw ``size`` item ids; item 0 is the most popular rank."""
-        return rng.choice(self.n, size=size, p=self._probabilities)
+        """Draw ``size`` item ids; item 0 is the most popular rank.
+
+        The returned array is freshly allocated; internal scratch buffers
+        are reused across calls.
+        """
+        u, scr_f, b, mask = self._scratch(size)
+        rng.random(out=u)
+        cdf = self._cdf
+        buckets = self._buckets
+        # A float rounding edge can push u * buckets to exactly
+        # ``buckets``; the clamp keeps the bucket index in range (and the
+        # lower-bound property holds because such a u is within one ulp of
+        # the last bucket's left edge, which the always-inexact last
+        # bucket walks).
+        np.multiply(u, buckets, out=scr_f)
+        np.copyto(b, scr_f, casting="unsafe")  # trunc == astype(int64)
+        np.minimum(b, buckets - 1, out=b)
+        idx = self._bucket_lo.take(b)
+        # Straddler buckets: walk forward to the first rank with cdf > u.
+        self._bucket_exact.take(b, out=mask)
+        np.logical_not(mask, out=mask)
+        hard = np.flatnonzero(mask)
+        if hard.size:
+            wrong = hard[cdf[idx[hard]] <= u[hard]]
+            while wrong.size:
+                idx[wrong] += 1
+                wrong = wrong[cdf[idx[wrong]] <= u[wrong]]
+        # u * buckets rounding *up* across a bucket edge can overshoot the
+        # start rank; walk those (near-nonexistent) draws back down to the
+        # smallest rank with cdf > u, completing searchsorted(u, 'right').
+        # b / buckets is exact (power-of-two divisor), so the comparison
+        # catches every overshoot, including products that round to an
+        # exact integer.
+        np.multiply(b, 1.0 / buckets, out=scr_f)
+        np.less(u, scr_f, out=mask)
+        for j in np.flatnonzero(mask).tolist():
+            i = int(idx[j]) - 1
+            uj = u[j]
+            while i >= 0 and cdf[i] > uj:
+                i -= 1
+            idx[j] = i + 1
+        return idx
 
 
 class GaussianGenerator:
@@ -214,24 +303,45 @@ class HotWarmColdGenerator:
         )
         self._hot_offset = 0
         self._hot_step = max(0, int(round(hot_drift_fraction * self.hot_items)))
+        self._scr_c: np.ndarray | None = None
+        self._scr_hot: np.ndarray | None = None
+        self._scr_nh: np.ndarray | None = None
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
-        component = rng.random(size)
+        if self._scr_c is None or self._scr_c.size < size:
+            self._scr_c = np.empty(size)
+            self._scr_hot = np.empty(size, dtype=bool)
+            self._scr_nh = np.empty(size, dtype=bool)
+        component = self._scr_c[:size]
+        rng.random(out=component)
         out = np.empty(size, dtype=np.int64)
-        hot = component < self.hot_mass
-        warm = (~hot) & (component < self.hot_mass + self.warm_mass)
-        cold = ~(hot | warm)
-        n_hot, n_warm, n_cold = int(hot.sum()), int(warm.sum()), int(cold.sum())
+        hot = self._scr_hot[:size]
+        np.less(component, self.hot_mass, out=hot)
+        # The non-hot remainder is a sliver (a few percent of the draws);
+        # splitting it by integer index keeps the warm/cold work
+        # proportional to that sliver instead of re-scanning every draw.
+        nh = self._scr_nh[:size]
+        np.logical_not(hot, out=nh)
+        not_hot = np.flatnonzero(nh)
+        warm_split = component[not_hot] < self.hot_mass + self.warm_mass
+        warm_idx = not_hot[warm_split]
+        cold_idx = not_hot[~warm_split]
+        n_hot = size - not_hot.size
         if n_hot:
             ranks = self._hot.sample(n_hot, rng)
-            out[hot] = (ranks + self._hot_offset) % self.hot_items
-        if n_warm:
-            out[warm] = self.hot_items + rng.integers(
-                0, self.warm_items, size=n_warm
+            if self._hot_offset:
+                # ranks < hot_items and offset < hot_items, so the modulo
+                # is a single conditional subtract.
+                ranks += self._hot_offset
+                ranks[ranks >= self.hot_items] -= self.hot_items
+            out[hot] = ranks
+        if warm_idx.size:
+            out[warm_idx] = self.hot_items + rng.integers(
+                0, self.warm_items, size=warm_idx.size
             )
-        if n_cold:
-            draws = rng.integers(0, self.cold_items, size=n_cold)
-            out[cold] = self.hot_items + self.warm_items + self._cold.map(draws)
+        if cold_idx.size:
+            draws = rng.integers(0, self.cold_items, size=cold_idx.size)
+            out[cold_idx] = self.hot_items + self.warm_items + self._cold.map(draws)
         return out
 
     def advance(self) -> None:

@@ -68,6 +68,13 @@ class KVWorkload(Workload):
         self.name = name
         self.write_fraction = write_fraction
         self.objects_per_page = objects_per_page
+        # key -> page is a shift when objects_per_page is a power of two
+        # (the common 1 KB / 4 KB value layouts).
+        self._objects_shift = (
+            objects_per_page.bit_length() - 1
+            if objects_per_page & (objects_per_page - 1) == 0
+            else None
+        )
         self.num_keys = num_pages * objects_per_page
         self.distribution = distribution or ZipfianGenerator(self.num_keys)
         self.drift_per_window = drift_per_window
@@ -86,9 +93,15 @@ class KVWorkload(Workload):
         self._page_of_block = page_perm
 
     def _generate(self, rng: np.random.Generator) -> np.ndarray:
-        ranks = self.distribution.sample(self.ops_per_window, rng)
+        # sample() returns a fresh array, so the rank -> page arithmetic
+        # below can run in place.
+        keys = self.distribution.sample(self.ops_per_window, rng)
         # Drift: rotate rank -> key mapping so the hot set moves over time.
-        keys = (ranks + self._drift_offset) % self.num_keys
+        # Ranks and the offset are both < num_keys, so the rotation's
+        # modulo reduces to one conditional subtract.
+        if self._drift_offset:
+            keys += self._drift_offset
+            keys[keys >= self.num_keys] -= self.num_keys
         self._drift_offset = int(
             (self._drift_offset + self.drift_per_window * self.num_keys)
             % self.num_keys
@@ -96,8 +109,11 @@ class KVWorkload(Workload):
         advance = getattr(self.distribution, "advance", None)
         if advance is not None:
             advance()
-        logical_pages = keys // self.objects_per_page
-        return self._page_of_block[logical_pages]
+        if self._objects_shift is not None:
+            keys >>= self._objects_shift
+        else:
+            keys //= self.objects_per_page
+        return self._page_of_block.take(keys)
 
     @classmethod
     def memcached_ycsb(

@@ -35,24 +35,68 @@ VOLATILE_KEYS = {
     "solver_queue_ns",
 }
 
+#: Latency-statistic keys.  Their values depend on the latency
+#: accumulator's *representation* (the log-binned histogram quantizes
+#: percentiles; running sums reassociate the mean), so they are zeroed
+#: in the byte-identical goldens and pinned with a relative tolerance in
+#: ``goldens/latency_stats.json`` instead.
+LATENCY_KEYS = {
+    "avg_latency_ns",
+    "p95_latency_ns",
+    "p999_latency_ns",
+    "p95_ns",
+    "p999_ns",
+}
 
-def normalise(value):
-    """Recursively convert a driver result to plain JSON types."""
+#: Relative tolerance for the latency sibling golden: the histogram's
+#: worst-case percentile error is sqrt(1.005) - 1 ~ 0.25 % (see
+#: ``repro.core.daemon``); the ISSUE budget is < 0.5 %.
+LATENCY_RTOL = 5e-3
+
+
+def normalise(value, zeroed: frozenset | set | None = None):
+    """Recursively convert a driver result to plain JSON types.
+
+    ``zeroed`` keys are replaced by ``0.0``; the default zeroes both the
+    wall-clock keys and the representation-dependent latency keys.
+    """
+    if zeroed is None:
+        zeroed = VOLATILE_KEYS | LATENCY_KEYS
     if is_dataclass(value) and not isinstance(value, type):
-        return normalise(asdict(value))
+        return normalise(asdict(value), zeroed)
     if hasattr(value, "tolist"):  # numpy arrays and scalars
-        return normalise(value.tolist())
+        return normalise(value.tolist(), zeroed)
     if isinstance(value, dict):
         return {
-            str(k): 0.0 if str(k) in VOLATILE_KEYS else normalise(v)
+            str(k): 0.0 if str(k) in zeroed else normalise(v, zeroed)
             for k, v in value.items()
         }
     if isinstance(value, (list, tuple)):
-        return [normalise(v) for v in value]
+        return [normalise(v, zeroed) for v in value]
     if isinstance(value, float):
         # repr round-trips doubles exactly; json.dumps uses it already.
         return value
     return value
+
+
+def latency_entries(value, prefix: str = "") -> dict[str, float]:
+    """Flatten every latency-stat field into ``{path: value}``.
+
+    Paths are slash-joined key/index chains, stable across runs because
+    the driver output structure is deterministic.
+    """
+    entries: dict[str, float] = {}
+    if isinstance(value, dict):
+        for k, v in value.items():
+            path = f"{prefix}/{k}" if prefix else str(k)
+            if str(k) in LATENCY_KEYS:
+                entries[path] = float(v)
+            else:
+                entries.update(latency_entries(v, path))
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            entries.update(latency_entries(v, f"{prefix}/{i}" if prefix else str(i)))
+    return entries
 
 
 def golden_text(result) -> str:
@@ -65,11 +109,17 @@ def capture() -> None:
     from repro.bench import experiments
 
     GOLDEN_DIR.mkdir(exist_ok=True)
+    stats = {}
     for name, kwargs in PINNED.items():
         driver = getattr(experiments, name)
+        result = driver(**kwargs)
         path = GOLDEN_DIR / f"{name}.json"
-        path.write_text(golden_text(driver(**kwargs)))
+        path.write_text(golden_text(result))
+        stats[name] = latency_entries(normalise(result, zeroed=VOLATILE_KEYS))
         print(f"captured {path}")
+    stats_path = GOLDEN_DIR / "latency_stats.json"
+    stats_path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    print(f"captured {stats_path}")
 
 
 if __name__ == "__main__":

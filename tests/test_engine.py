@@ -189,6 +189,36 @@ class TestSessionEvents:
         assert a.slowdown == b.slowdown
         assert a.tco_savings == b.tco_savings
 
+    def test_fault_burst_mean_is_trailing_not_all_time(self):
+        """A late burst must be judged against the *trailing* window.
+
+        The all-time mean bug: a long busy prefix inflated the mean
+        forever, so a burst after things went quiet never fired.
+        """
+        from repro.engine.session import FAULT_BURST_WINDOW
+
+        session = Session(ScenarioSpec(**FAST))
+        window = 0
+        for _ in range(50):  # long busy prefix
+            session._check_fault_burst(window, 500)
+            window += 1
+        for _ in range(FAULT_BURST_WINDOW):  # system goes quiet
+            session._check_fault_burst(window, 0)
+            window += 1
+        session._check_fault_burst(window, 100)  # late burst
+        bursts = [e for e in session.events if e.kind == "fault_burst"]
+        assert bursts, "late burst suppressed by pre-window history"
+        last = bursts[-1]
+        assert last.data["faults"] == 100
+        assert last.data["trailing_mean"] == 0.0  # mean of the quiet window
+        assert len(session._fault_history) <= FAULT_BURST_WINDOW
+
+    def test_spec_threads_fast_same_algo_migration(self):
+        on = Session(ScenarioSpec(**FAST, fast_same_algo_migration=True))
+        off = Session(ScenarioSpec(**FAST))
+        assert on.system.fast_same_algo_migration is True
+        assert off.system.fast_same_algo_migration is False
+
 
 class TestScenarioCLI:
     def _write(self, tmp_path, **overrides):

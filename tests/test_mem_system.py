@@ -55,6 +55,23 @@ class TestConstruction:
         with pytest.raises(KeyError):
             system.tier_index("HBM")
 
+    def test_fast_same_algo_migration_is_instance_state(self):
+        """The §7.1 flag must not be shared class state.
+
+        As a mutable class attribute, enabling it on one system (or on
+        the class, as ablation code used to) leaked the fast path into
+        every other system in the process, including fleet workers.
+        """
+        assert "fast_same_algo_migration" not in vars(TieredMemorySystem)
+        a, b = fresh_system(), fresh_system()
+        a.fast_same_algo_migration = True
+        assert b.fast_same_algo_migration is False
+        space = AddressSpace(PAGES_PER_REGION, "mixed", seed=7)
+        flagged = TieredMemorySystem(
+            make_tiers(space), space, fast_same_algo_migration=True
+        )
+        assert flagged.fast_same_algo_migration is True
+
 
 class TestAccessPath:
     def test_dram_access_cost(self):
@@ -98,6 +115,48 @@ class TestAccessPath:
         latencies = sorted(lat for lat, _ in result.latency_histogram)
         assert latencies[0] == pytest.approx(DRAM.read_ns)
         assert latencies[-1] > 1000  # the fault
+
+    def test_fault_batch_spills_when_promotion_target_fills(self):
+        """A batch of faults must spill to the next byte tier mid-batch.
+
+        The promotion target used to be resolved once per compressed
+        group; when DRAM filled partway through the batch, the next
+        ``add_pages(1)`` raised AllocationError *after* the clock and
+        stats were already charged for the earlier pages.
+        """
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        faulting = [0, 1, 2, 3, 4]
+        for pid in faulting:
+            system.move_page(pid, ct_idx)
+        # Fill DRAM up to 2 free pages (another tenant's allocation).
+        dram = system.tiers[0]
+        dram.add_pages(dram.free_pages - 2)
+        result = system.access_batch(np.array(faulting))
+        assert result.faults == len(faulting)
+        # 2 pages promoted into DRAM, the remaining 3 spilled to NVMM.
+        assert dram.free_pages == 0
+        locations = system.page_location[faulting]
+        assert list(locations).count(0) == 2
+        assert list(locations).count(1) == 3
+        assert system.tiers[ct_idx].resident_pages == 0
+
+    def test_fault_batch_atomic_when_no_byte_room(self):
+        """When no byte tier can take the batch, nothing is charged."""
+        from repro.allocators.base import AllocationError
+
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        for pid in range(4):
+            system.move_page(pid, ct_idx)
+        for tier in system.tiers[:2]:
+            tier.add_pages(tier.free_pages)
+        before_ns = system.clock.access_ns
+        before_resident = system.tiers[ct_idx].resident_pages
+        with pytest.raises(AllocationError, match="no byte-addressable"):
+            system.access_batch(np.array([0, 1, 2, 3]))
+        assert system.clock.access_ns == before_ns
+        assert system.tiers[ct_idx].resident_pages == before_resident
 
     def test_recency_tracking(self):
         system = fresh_system()

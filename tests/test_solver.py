@@ -122,6 +122,33 @@ class TestBackends:
             counts = np.bincount(solution.assignment, minlength=4)
             assert counts[1] <= 4  # capacity num_regions // 2
 
+    def test_greedy_zero_capacity_tier_stays_full(self):
+        """A forced overflow must not turn a full tier unbounded.
+
+        Region 0's only undominated option is tier 0, which has zero
+        capacity, so the greedy start fallback is forced to place it
+        there.  That take() used to drive ``remaining[0]`` to -1 -- the
+        *unbounded* sentinel -- after which every other region's upgrade
+        into tier 0 sailed through ``has_room``.
+        """
+        penalty = np.array(
+            [[0.0, 10.0], [0.0, 10.0], [0.0, 10.0], [0.0, 10.0]]
+        )
+        cost = np.array(
+            [[0.1, 5.0], [5.0, 0.1], [5.0, 0.1], [5.0, 0.1]]
+        )
+        problem = PlacementProblem(
+            penalty=penalty,
+            cost=cost,
+            budget=100.0,
+            capacity=np.array([0, 100]),
+        )
+        solution = solve_greedy(problem)
+        counts = np.bincount(solution.assignment, minlength=2)
+        # Only the forced-overflow region may sit in the full tier.
+        assert counts[0] <= 1
+        assert list(solution.assignment[1:]) == [1, 1, 1]
+
     def test_branch_bound_region_cap(self):
         problem = PlacementProblem(np.zeros((30, 2)), np.zeros((30, 2)), 1.0)
         with pytest.raises(ValueError, match="limited"):

@@ -42,9 +42,15 @@ def check_invariants(system: TieredMemorySystem) -> None:
             # (the low-occupancy fragmentation bound).
             assert tier.used_pages <= max(1, 4 * tier.resident_pages)
     # (3) cost sanity: TCO stays positive and within the all-DRAM bound
-    # plus a small fragmentation allowance (partial zspages at very low
-    # pool occupancy can transiently exceed the resident-page cost).
-    frag_allowance = 16 * DRAM.cost_per_page * len(system.tiers)
+    # plus the fragmentation allowance implied by invariant (2): a
+    # compressed tier's pool may span up to 4x its resident pages (or one
+    # zspage when nearly empty), i.e. at most ``3 * resident + 1`` pages
+    # beyond the residents it replaced, each costing at most a DRAM page.
+    frag_allowance = sum(
+        (3 * int(counts[idx]) + 1) * DRAM.cost_per_page
+        for idx, tier in enumerate(system.tiers)
+        if not isinstance(tier, ByteAddressableTier)
+    )
     assert 0 < system.tco() <= system.tco_max() + frag_allowance
     # (4) clock
     assert system.clock.access_ns >= 0
