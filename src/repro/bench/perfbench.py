@@ -155,6 +155,51 @@ def bench_fig08_e2e(windows: int = 8, seed: int = 0, repeat: int = 5) -> dict:
     }
 
 
+def bench_obs_overhead(
+    windows: int = 8, seed: int = 0, repeat: int = 5
+) -> dict:
+    """Observability overhead on fig08 windows/s.
+
+    Times the Figure 8 scenario twice per attempt, interleaved to share
+    thermal/scheduler conditions: once on the default *disabled* obs
+    path (null metrics, null spans) and once with metrics + tracing
+    fully enabled.  Best-of-``repeat`` rates for both; the reported
+    ``overhead_pct`` is the enabled-vs-disabled slowdown, which upper-
+    bounds the cost of the disabled instrumentation hooks themselves
+    (the ISSUE's < 3 % gate, asserted by ``benchmarks/perf``).
+    """
+    from repro.engine.session import Session
+    from repro.engine.spec import ScenarioSpec
+    from repro.obs import Observability
+
+    def _run_once(obs) -> float:
+        spec = ScenarioSpec(policy="waterfall", windows=windows, seed=seed)
+        session = Session(spec, obs=obs)
+        t0 = time.perf_counter()
+        session.run()
+        return time.perf_counter() - t0
+
+    best_disabled = best_enabled = None
+    for _ in range(repeat):
+        wall = _run_once(None)
+        if best_disabled is None or wall < best_disabled:
+            best_disabled = wall
+        wall = _run_once(Observability(metrics=True, tracing=True))
+        if best_enabled is None or wall < best_enabled:
+            best_enabled = wall
+    rate_disabled = windows / best_disabled if best_disabled else 0.0
+    rate_enabled = windows / best_enabled if best_enabled else 0.0
+    overhead = (
+        100.0 * (1.0 - rate_enabled / rate_disabled) if rate_disabled else 0.0
+    )
+    return {
+        "windows": windows,
+        "windows_per_s_disabled": rate_disabled,
+        "windows_per_s_enabled": rate_enabled,
+        "overhead_pct": overhead,
+    }
+
+
 def run_benches(smoke: bool = False, seed: int = 0) -> dict:
     """Run all benchmarks; the smoke preset shrinks every knob."""
     if smoke:
@@ -204,6 +249,9 @@ def run_perfbench(
         The report dict (also serialized to ``out`` when given).
     """
     current = run_benches(smoke=smoke, seed=seed)
+    obs_overhead = bench_obs_overhead(
+        windows=2 if smoke else 8, seed=seed, repeat=2 if smoke else 5
+    )
 
     reference = None
     ref_path = Path(baseline) if baseline else (Path(out) if out else None)
@@ -229,6 +277,7 @@ def run_perfbench(
         "reference": reference,
         "current": current,
         "speedup_vs_reference": speedup,
+        "obs_overhead": obs_overhead,
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -6,6 +6,8 @@ Examples::
     python -m repro run fig01 --windows 8         # regenerate Figure 1
     python -m repro run fig13 --seed 3
     python -m repro run scenario.json             # run a scenario file
+    python -m repro run scenario.json --trace t.json --metrics m.prom
+    python -m repro report run_events.jsonl       # digest an event export
     python -m repro policy memcached-ycsb am-tco  # one policy run
     python -m repro workloads                     # Table 2
     python -m repro tiers --profile nci --k 5     # auto tier selection
@@ -13,7 +15,8 @@ Examples::
 ``run`` accepts either a named experiment driver or a path to a
 :class:`~repro.engine.spec.ScenarioSpec` file (``.json`` / ``.toml``);
 unknown experiment, workload, policy or telemetry names exit with
-status 2.
+status 2.  ``--trace`` writes a ``chrome://tracing`` span trace and
+``--metrics`` a Prometheus textfile (scenario and fleet runs).
 """
 
 from __future__ import annotations
@@ -26,6 +29,9 @@ from typing import Callable
 from repro.bench import experiments
 from repro.bench.reporting import format_table
 from repro.bench.runner import run_policy
+from repro.obs import LOG_LEVELS, configure_logging, get_logger
+
+_log = get_logger("cli")
 
 #: Experiment name -> (driver, description).  Drivers return row lists or
 #: trace dicts; trace dicts are flattened for printing.
@@ -134,8 +140,20 @@ def cmd_list(_args) -> int:
 
 
 def _run_scenario_file(path: str, args) -> int:
-    """Execute one engine scenario from a .json/.toml file."""
+    """Execute one engine scenario from a .json/.toml file.
+
+    ``--out file.jsonl`` streams events straight to disk (bounded ring in
+    memory) instead of buffering the run and exporting at the end;
+    ``--trace`` / ``--metrics`` enable the obs bundle and write a Chrome
+    trace / Prometheus textfile after the run.
+    """
     from repro.engine import ScenarioSpec, Session, export_events
+    from repro.obs import (
+        Observability,
+        StreamSink,
+        write_chrome_trace,
+        write_prometheus,
+    )
 
     try:
         spec = ScenarioSpec.load(path)
@@ -146,24 +164,45 @@ def _run_scenario_file(path: str, args) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"invalid scenario {path!r}: {message}", file=sys.stderr)
         return 2
+    obs = Observability(
+        metrics=bool(args.metrics), tracing=bool(args.trace)
+    )
+    # Streaming export: spill each event as it is emitted, keep a ring.
+    stream_out = bool(args.out) and str(args.out).endswith(".jsonl")
+    sink = StreamSink(spill_path=args.out) if stream_out else None
+    window_events = []
+    burst_windows = []
+
+    def _collect(event) -> None:
+        if event.kind == "window_end":
+            window_events.append({"window": event.window, **event.data})
+        elif event.kind == "fault_burst":
+            burst_windows.append(event.window)
+
     try:
-        session = Session(spec)
+        session = Session(spec, hooks=(_collect,), obs=obs, sink=sink)
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"cannot build scenario {spec.label!r}: {message}", file=sys.stderr)
         return 2
     summary = session.run()
     print(format_table([summary.row()], title=spec.label))
-    from repro.engine import window_rows
-
-    print(format_table(window_rows(session.events), title="per-window events"))
-    bursts = [e for e in session.events if e.kind == "fault_burst"]
-    if bursts:
-        windows = ", ".join(str(e.window) for e in bursts)
-        print(f"fault bursts in windows: {windows}")
+    print(format_table(window_events, title="per-window events"))
+    if burst_windows:
+        print(
+            "fault bursts in windows: "
+            + ", ".join(str(w) for w in burst_windows)
+        )
     if args.out:
-        path_out = export_events(session.events, args.out)
-        print(f"event stream written to {path_out}")
+        if stream_out:
+            print(f"event stream written to {args.out}")
+        else:
+            path_out = export_events(session.events, args.out)
+            print(f"event stream written to {path_out}")
+    if args.metrics:
+        print(f"metrics written to {write_prometheus(obs.registry, args.metrics)}")
+    if args.trace:
+        print(f"trace written to {write_chrome_trace(obs.span_dicts(), args.trace)}")
     return 0
 
 
@@ -173,6 +212,12 @@ def cmd_run(args) -> int:
         target.endswith((".json", ".toml")) or Path(target).is_file()
     ):
         return _run_scenario_file(target, args)
+    if args.trace or args.metrics:
+        _log.warning(
+            "--trace/--metrics apply to scenario files and fleet runs; "
+            "ignored for named experiment %r",
+            target,
+        )
     try:
         driver, _ = EXPERIMENTS[target]
     except KeyError:
@@ -282,8 +327,14 @@ def cmd_fleet(args) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"invalid fleet configuration: {message}", file=sys.stderr)
         return 2
+    from repro.fleet.runner import ObsOptions
+
     runner = FleetRunner(
-        spec, jobs=args.jobs, service=service, scheduler=scheduler
+        spec,
+        jobs=args.jobs,
+        service=service,
+        scheduler=scheduler,
+        obs=ObsOptions(metrics=True, tracing=bool(args.trace)),
     )
     result = runner.run()
 
@@ -306,6 +357,43 @@ def cmd_fleet(args) -> int:
     )
     path = export_fleet_events(result, args.out)
     print(f"per-window events written to {path}")
+    if args.metrics:
+        from repro.obs import write_prometheus
+
+        print(
+            "fleet metrics written to "
+            f"{write_prometheus(result.metrics, args.metrics)}"
+        )
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        print(
+            "fleet trace written to "
+            f"{write_chrome_trace(result.spans, args.trace)}"
+        )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs.report import load_rows, run_totals, window_summary
+
+    try:
+        rows = load_rows(args.path)
+    except FileNotFoundError:
+        print(f"event file not found: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot parse {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if not rows:
+        print(f"no rows in {args.path}", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            window_summary(rows), title=f"per-window summary ({args.path})"
+        )
+    )
+    print(format_table([run_totals(rows)], title="run totals"))
     return 0
 
 
@@ -334,6 +422,14 @@ def cmd_perfbench(args) -> int:
         e2e = report["speedup_vs_reference"].get("fig08_e2e")
         if e2e is not None:
             print(f"end-to-end fig08 windows/sec: {e2e:.2f}x vs reference")
+    obs_overhead = report.get("obs_overhead")
+    if obs_overhead:
+        print(
+            f"obs overhead on fig08: {obs_overhead['overhead_pct']:.2f}% "
+            f"({obs_overhead['windows_per_s_disabled']:.1f} disabled vs "
+            f"{obs_overhead['windows_per_s_enabled']:.1f} enabled windows/s; "
+            f"gate < 3%)"
+        )
     if out:
         print(f"report written to {out}")
     return 0
@@ -373,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="TierScape reproduction: experiments and policy runs",
     )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=LOG_LEVELS,
+        help="driver progress verbosity (default: warning, i.e. quiet)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments").set_defaults(
@@ -389,7 +491,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--windows", type=int, default=10)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
-        "--out", default=None, help="also export rows to a .json/.csv file"
+        "--out",
+        default=None,
+        help="export rows/events (.json/.csv; .jsonl streams scenario "
+        "events to disk as they are emitted)",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        help="write a chrome://tracing span trace (scenario runs)",
+    )
+    run.add_argument(
+        "--metrics",
+        default=None,
+        help="write a Prometheus textfile (scenario runs)",
     )
     run.set_defaults(func=cmd_run)
 
@@ -451,7 +566,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="fleet_events.jsonl",
         help="per-window event export path (.jsonl/.json/.csv)",
     )
+    fleet.add_argument(
+        "--trace",
+        default=None,
+        help="write a chrome://tracing trace (one lane per node)",
+    )
+    fleet.add_argument(
+        "--metrics",
+        default=None,
+        help="write the merged fleet metrics as a Prometheus textfile",
+    )
     fleet.set_defaults(func=cmd_fleet)
+
+    report = sub.add_parser(
+        "report", help="summarize an exported event stream (.jsonl/.json)"
+    )
+    report.add_argument("path", help="event export from run --out / fleet --out")
+    report.set_defaults(func=cmd_report)
 
     perfbench = sub.add_parser(
         "perfbench", help="run the hot-path performance benchmarks"
@@ -505,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     return args.func(args)
 
 

@@ -27,6 +27,7 @@ from repro.core.placement.base import PlacementModel
 from repro.core.placement.filter import MigrationFilter
 from repro.mem.migration import MigrationEngine
 from repro.mem.system import TieredMemorySystem
+from repro.obs import NULL_OBS, Observability
 from repro.workloads.base import Workload
 
 
@@ -65,12 +66,14 @@ class WindowRecord:
     hotness: np.ndarray
 
 
-#: Log-scale histogram geometry for :class:`_LatencyAccumulator`.  A bin
-#: spans ``[base**k, base**(k+1))`` ns and reports its geometric mean, so
-#: the worst-case percentile error is ``sqrt(base) - 1`` ~ 0.25 %.  The
-#: range covers sub-ns to 1 s, far beyond any simulated access latency.
-_LAT_BASE = 1.005
-_LAT_BINS = int(np.ceil(np.log(1e9) / np.log(_LAT_BASE)))
+#: Log-scale histogram geometry for :class:`_LatencyAccumulator`, shared
+#: with :mod:`repro.obs.metrics`.  A bin spans ``[base**k, base**(k+1))``
+#: ns and reports its geometric mean, so the worst-case percentile error
+#: is ``sqrt(base) - 1`` ~ 0.25 %.  The range covers sub-ns to 1 s, far
+#: beyond any simulated access latency.
+from repro.obs.metrics import LOG_BASE as _LAT_BASE  # noqa: E402
+from repro.obs.metrics import NUM_BINS as _LAT_BINS  # noqa: E402
+
 _LAT_INV_LN_BASE = 1.0 / np.log(_LAT_BASE)
 _LAT_REPR = _LAT_BASE ** (np.arange(_LAT_BINS) + 0.5)
 
@@ -146,6 +149,9 @@ class TSDaemon:
             ``"idlebit"`` (ACCESSED-bit scanning) or ``"damon"``
             (sampled probing); see :func:`repro.telemetry.make_profiler`.
         seed: Telemetry RNG seed.
+        obs: Observability bundle; the window loop emits ``fault_path``
+            / ``profile`` / ``solve`` spans and the headline counters
+            into it (disabled and free by default).
     """
 
     def __init__(
@@ -160,6 +166,7 @@ class TSDaemon:
         prefetch_degree: int | None = None,
         telemetry: str = "pebs",
         seed: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         from repro.telemetry import make_profiler
 
@@ -179,8 +186,36 @@ class TSDaemon:
             cooling=cooling,
             seed=seed,
         )
+        self.obs = obs if obs is not None else NULL_OBS
+        # The solver registry and serviced models read ``model.obs`` for
+        # per-solve latency / fallback accounting.
+        self.model.obs = self.obs
+        registry = self.obs.registry
+        self._m_windows = registry.counter(
+            "repro_windows_total", "Profile windows executed"
+        )
+        self._m_accesses = registry.counter(
+            "repro_accesses_total", "Simulated memory accesses served"
+        )
+        self._m_faults = registry.counter(
+            "repro_faults_total", "Compressed-tier demand faults"
+        )
+        self._m_app_ns = registry.counter(
+            "repro_app_ns_total", "Virtual application nanoseconds"
+        )
+        self._m_tco = registry.gauge(
+            "repro_tco_savings_pct", "TCO savings vs all-DRAM, last window"
+        )
+        self._m_solver_ns = registry.histogram(
+            "repro_solver_window_ns",
+            "Solver nanoseconds charged per window",
+            volatile=True,
+        )
         self.engine = MigrationEngine(
-            system, push_threads=push_threads, recency_windows=recency_windows
+            system,
+            push_threads=push_threads,
+            recency_windows=recency_windows,
+            obs=self.obs,
         )
         self.prefetcher = None
         if prefetch_degree is not None:
@@ -194,21 +229,29 @@ class TSDaemon:
     def run_window(self, page_ids: np.ndarray, write_fraction: float = 0.0) -> WindowRecord:
         """Execute one profile window over the given access batch."""
         system = self.system
+        tracer = self.obs.tracer
         system.advance_window()
-        batch = system.access_batch(page_ids, write_fraction=write_fraction)
+        with tracer.span("fault_path") as span:
+            batch = system.access_batch(
+                page_ids, write_fraction=write_fraction
+            )
+            span.set(accesses=batch.accesses, faults=batch.faults)
         self._latencies.extend(batch.latency_histogram)
         if self.prefetcher is not None and batch.faulted_pages:
             self.prefetcher.on_window(batch.faulted_pages)
-        self.profiler.record(page_ids)
-        record = self.profiler.end_window()
+        with tracer.span("profile"):
+            self.profiler.record(page_ids)
+            record = self.profiler.end_window()
 
         # Update region hotness for models that read it off the regions.
         for region in system.space.regions:
             region.hotness = float(record.hotness[region.region_id])
 
         solver_before = self.model.solver_ns
-        recommendation = self.model.recommend(record, system)
-        solver_ns = self.model.solver_ns - solver_before
+        with tracer.span("solve", policy=self.model.name) as span:
+            recommendation = self.model.recommend(record, system)
+            solver_ns = self.model.solver_ns - solver_before
+            span.set(solver_ns=solver_ns, moves=len(recommendation))
 
         recommended = np.zeros(len(system.tiers), dtype=np.int64)
         for dst in recommendation.values():
@@ -240,6 +283,12 @@ class TSDaemon:
             hotness=record.hotness,
         )
         self.records.append(window_record)
+        self._m_windows.inc()
+        self._m_accesses.inc(batch.accesses)
+        self._m_faults.inc(int(window_faults.sum()))
+        self._m_app_ns.inc(batch.access_ns)
+        self._m_tco.set(100.0 * window_record.tco_savings)
+        self._m_solver_ns.observe(solver_ns)
         return window_record
 
     def run(self, workload: Workload, num_windows: int) -> RunSummary:

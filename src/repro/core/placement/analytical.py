@@ -101,7 +101,7 @@ class AnalyticalModel(PlacementModel):
         self, record: ProfileRecord, system: TieredMemorySystem
     ) -> dict[int, int]:
         problem = self.build_problem(record, system)
-        solution = solve(problem, backend=self.backend)
+        solution = solve(problem, backend=self.backend, obs=self.obs)
         self.last_solution = solution
         self.solver_ns += solution.solve_wall_ns
         return {

@@ -33,3 +33,8 @@ class PlacementModel(abc.ABC):
     #: Solver wall time accumulated, nanoseconds (nonzero for the
     #: analytical model only); read by the Figure 14 tax experiment.
     solver_ns: float = 0.0
+
+    #: Observability bundle installed by the daemon (``None`` when the
+    #: model runs outside a daemon); solver-backed models thread it into
+    #: :func:`repro.solver.solve` for per-solve accounting.
+    obs = None

@@ -21,7 +21,11 @@ from repro.core.metrics import RunSummary
 from repro.engine.build import build_system, make_policy
 from repro.engine.events import EngineEvent, EventHook, EventLog
 from repro.engine.spec import ScenarioSpec
+from repro.obs import NULL_OBS, Observability
+from repro.obs.logs import get_logger
 from repro.workloads.registry import make_workload
+
+_log = get_logger("engine.session")
 
 #: A window is a fault burst when its compressed-tier faults exceed this
 #: multiple of the trailing per-window mean...
@@ -60,6 +64,10 @@ class Session:
         policy: Prebuilt placement model; overrides ``make_policy``.
         migration_filter: Optional §6.7 filter override for the daemon.
         hooks: Event hooks called synchronously on each emitted event.
+        obs: Observability bundle (metrics + tracing); defaults to the
+            shared disabled bundle, whose operations are no-ops.
+        sink: Optional :class:`~repro.obs.sink.StreamSink` for the event
+            log (bounded ring + JSONL spill instead of full buffering).
     """
 
     def __init__(
@@ -71,8 +79,11 @@ class Session:
         policy=None,
         migration_filter=None,
         hooks: tuple[EventHook, ...] = (),
+        obs: Observability | None = None,
+        sink=None,
     ) -> None:
         self.spec = spec
+        self.obs = obs if obs is not None else NULL_OBS
         self.workload = (
             workload
             if workload is not None
@@ -112,8 +123,23 @@ class Session:
             prefetch_degree=spec.prefetch_degree,
             telemetry=spec.telemetry,
             seed=spec.resolved_daemon_seed(),
+            obs=self.obs,
         )
-        self.log = EventLog(hooks)
+        registry = self.obs.registry
+        self.log = EventLog(
+            hooks,
+            sink=sink,
+            error_counter=registry.counter(
+                "repro_hook_errors_total",
+                "Event hooks that raised (isolated, not fatal)",
+            )
+            if registry.enabled
+            else None,
+        )
+        self._burst_counter = registry.counter(
+            "repro_fault_bursts_total",
+            "Windows whose faults spiked above the trailing mean",
+        )
         self._fault_history: list[int] = []
 
     # -- introspection -------------------------------------------------------
@@ -133,12 +159,13 @@ class Session:
     def run_window(self) -> WindowRecord:
         """Run one profile window of the scenario's workload."""
         window = len(self.daemon.records)
-        self.log.emit("window_start", window)
-        page_ids = self.workload.next_window()
-        moved_before = self.daemon.engine.stats.pages_moved
-        record = self.daemon.run_window(
-            page_ids, write_fraction=self.workload.write_fraction
-        )
+        with self.obs.tracer.span("window", window=window):
+            self.log.emit("window_start", window)
+            page_ids = self.workload.next_window()
+            moved_before = self.daemon.engine.stats.pages_moved
+            record = self.daemon.run_window(
+                page_ids, write_fraction=self.workload.write_fraction
+            )
         faults = int(record.faults.sum())
         self.log.emit(
             "window_end",
@@ -165,6 +192,7 @@ class Session:
         if history:
             mean = sum(history) / len(history)
             if faults >= FAULT_BURST_MIN and faults > FAULT_BURST_FACTOR * mean:
+                self._burst_counter.inc()
                 self.log.emit(
                     "fault_burst", window, faults=faults, trailing_mean=mean
                 )
@@ -181,16 +209,29 @@ class Session:
             )
         for _ in range(self.spec.windows if windows is None else windows):
             self.run_window()
+        if self.log.hook_error_count:
+            _log.warning(
+                "%d event hook failure(s) were isolated during the run; "
+                "first: %s",
+                self.log.hook_error_count,
+                self.log.hook_errors[0] if self.log.hook_errors else "?",
+            )
+        self.log.close()
         return self.summary()
 
     def summary(self) -> RunSummary:
         """Aggregate the windows run so far."""
-        return self.daemon.summary(self.workload.name)
+        summary = self.daemon.summary(self.workload.name)
+        if self.log.hook_error_count:
+            summary.extras["hook_errors"] = self.log.hook_error_count
+        return summary
 
 
 def run_scenario(
-    spec: ScenarioSpec, hooks: tuple[EventHook, ...] = ()
+    spec: ScenarioSpec,
+    hooks: tuple[EventHook, ...] = (),
+    obs: Observability | None = None,
 ) -> tuple[RunSummary, Session]:
     """Build a session for ``spec``, run it, and return both."""
-    session = Session(spec, hooks=hooks)
+    session = Session(spec, hooks=hooks, obs=obs)
     return session.run(), session

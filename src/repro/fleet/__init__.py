@@ -21,7 +21,7 @@ Entry points: ``python -m repro fleet`` and
 """
 
 from repro.fleet.metrics import fleet_rollup, node_rows, slowdown_distribution
-from repro.fleet.runner import FleetResult, FleetRunner, NodeResult
+from repro.fleet.runner import FleetResult, FleetRunner, NodeResult, ObsOptions
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.service import ServicedAnalyticalModel, SolverServiceConfig
 from repro.fleet.spec import FleetSpec, NodeSpec
@@ -33,6 +33,7 @@ __all__ = [
     "FleetSpec",
     "NodeResult",
     "NodeSpec",
+    "ObsOptions",
     "ServicedAnalyticalModel",
     "SolverServiceConfig",
     "fleet_rollup",

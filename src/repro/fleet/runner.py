@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.knob import Knob
 from repro.core.metrics import RunSummary
-from repro.engine import Session, make_policy, window_rows
+from repro.engine import Session, make_policy
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.service import (
     ServicedAnalyticalModel,
@@ -30,9 +30,31 @@ from repro.fleet.service import (
     SolverServiceConfig,
 )
 from repro.fleet.spec import FleetSpec, NodeSpec
+from repro.obs import MetricsRegistry, Observability, StreamSink
+from repro.obs.logs import get_logger
 
 #: Policies that route their ILP through the solver service.
 _ANALYTICAL = ("am", "am-tco", "am-perf")
+
+_log = get_logger("fleet.runner")
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """Per-worker observability switches shipped with each payload.
+
+    Attributes:
+        metrics: Collect a per-node metrics registry; the parent merges
+            the snapshots deterministically in node-id order.
+        tracing: Collect spans (shipped home as dicts, each stamped with
+            the node id as the trace ``pid``).
+        event_ring: Ring capacity of each worker's event log; fleet
+            workers never buffer the whole event stream.
+    """
+
+    metrics: bool = True
+    tracing: bool = False
+    event_ring: int = 64
 
 
 @dataclass
@@ -46,6 +68,9 @@ class NodeResult:
             measured wall time; empty for non-analytical policies).
         events: Per-window solver-service events.
         window_rows: Flat per-window rows for the JSONL event export.
+        metrics: The node's metrics-registry snapshot (empty when the
+            run disabled metrics).
+        spans: Completed span dicts (empty unless tracing was on).
     """
 
     spec: NodeSpec
@@ -53,6 +78,8 @@ class NodeResult:
     stats: ServiceStats = field(default_factory=ServiceStats)
     events: list[ServiceEvent] = field(default_factory=list)
     window_rows: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -64,16 +91,26 @@ class FleetResult:
         nodes: Per-node results, in node-id order.
         jobs: Worker processes used.
         wall_s: Real wall-clock seconds of the execution phase.
+        metrics: Fleet-wide registry: every node's snapshot folded in
+            node-id order, so the merge is identical for any ``jobs``.
     """
 
     spec: FleetSpec
     nodes: list[NodeResult]
     jobs: int
     wall_s: float
+    metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(enabled=True)
+    )
 
     @property
     def summaries(self) -> list[RunSummary]:
         return [n.summary for n in self.nodes]
+
+    @property
+    def spans(self) -> list[dict]:
+        """All nodes' spans, in node-id order (one trace pid per node)."""
+        return [span for node in self.nodes for span in node.spans]
 
 
 def _make_node_model(spec: NodeSpec, service: SolverServiceConfig):
@@ -98,31 +135,55 @@ def _make_node_model(spec: NodeSpec, service: SolverServiceConfig):
     )
 
 
-def _run_node(payload: tuple[NodeSpec, SolverServiceConfig]) -> NodeResult:
+def _run_node(
+    payload: tuple[NodeSpec, SolverServiceConfig, ObsOptions]
+) -> NodeResult:
     """Worker entry point: simulate one node end to end.
 
     Module-level (picklable) so :class:`ProcessPoolExecutor` can ship it;
     also called inline for ``jobs=1``, guaranteeing both paths share one
     code path for the determinism contract.
+
+    The worker's event log runs in streaming mode (bounded ring): the
+    per-window export rows are collected incrementally by a hook as each
+    ``window_end`` fires, so a multi-thousand-window node never holds
+    its full event stream in memory.
     """
-    spec, service = payload
+    spec, service, obs_options = payload
     model = _make_node_model(spec, service)
-    session = Session(spec.to_scenario(), policy=model)
+    obs = Observability(
+        metrics=obs_options.metrics,
+        tracing=obs_options.tracing,
+        pid=spec.node_id,
+    )
+    window_payloads: list[tuple[int, dict]] = []
+
+    def _collect_window(event) -> None:
+        if event.kind == "window_end":
+            window_payloads.append((event.window, event.data))
+
+    session = Session(
+        spec.to_scenario(),
+        policy=model,
+        hooks=(_collect_window,),
+        obs=obs,
+        sink=StreamSink(ring=obs_options.event_ring),
+    )
     summary = session.run()
     events = list(getattr(model, "events", ()))
     stats = getattr(model, "stats", None) or ServiceStats()
     # The engine's per-window rows, tagged with node identity and the
     # solver-service view of each window.
     rows = []
-    for row in window_rows(session.events):
-        window = row["window"]
+    for window, data in window_payloads:
         event = events[window] if window < len(events) else None
         rows.append(
             {
                 "node": spec.node_id,
                 "workload": session.workload.name,
                 "policy": summary.policy,
-                **row,
+                "window": window,
+                **data,
                 "queue_ms": (event.queue_ns / 1e6) if event else 0.0,
                 "fallback": bool(event.fallback) if event else False,
             }
@@ -133,6 +194,8 @@ def _run_node(payload: tuple[NodeSpec, SolverServiceConfig]) -> NodeResult:
         stats=stats,
         events=events,
         window_rows=rows,
+        metrics=obs.registry.snapshot() if obs_options.metrics else {},
+        spans=obs.span_dicts() if obs_options.tracing else [],
     )
 
 
@@ -150,6 +213,8 @@ class FleetRunner:
             execution.
         chunksize: Nodes per worker dispatch; default splits the fleet
             into about two chunks per worker.
+        obs: Per-worker observability switches (metrics on by default;
+            tracing off because spans are bulky over IPC).
     """
 
     def __init__(
@@ -161,6 +226,7 @@ class FleetRunner:
         service: SolverServiceConfig | None = None,
         scheduler: FleetScheduler | None = None,
         chunksize: int | None = None,
+        obs: ObsOptions | None = None,
         **spec_kwargs,
     ) -> None:
         if jobs < 1:
@@ -176,6 +242,7 @@ class FleetRunner:
         self.service = service or SolverServiceConfig()
         self.scheduler = scheduler
         self.chunksize = chunksize
+        self.obs = obs or ObsOptions()
 
     def node_specs(self) -> list[NodeSpec]:
         """The expanded (and scheduler-adjusted) per-node specs."""
@@ -186,8 +253,14 @@ class FleetRunner:
 
     def run(self) -> FleetResult:
         """Simulate every node and merge results in node order."""
-        payloads = [(s, self.service) for s in self.node_specs()]
+        payloads = [(s, self.service, self.obs) for s in self.node_specs()]
         jobs = min(self.jobs, len(payloads))
+        _log.info(
+            "simulating %d node(s) with %d job(s), policy=%s",
+            len(payloads),
+            jobs,
+            self.spec.policy,
+        )
         start = time.perf_counter()
         if jobs == 1:
             results = [_run_node(p) for p in payloads]
@@ -202,6 +275,17 @@ class FleetRunner:
                     pool.map(_run_node, payloads, chunksize=chunksize)
                 )
         wall_s = time.perf_counter() - start
+        # Fold worker registries in node-id order: the node set and each
+        # node's metrics are independent of `jobs`, so the merged
+        # registry is too (volatile wall-time metrics aside).
+        merged = MetricsRegistry(enabled=True)
+        for node in results:
+            merged.merge_snapshot(node.metrics)
+        _log.info("fleet run complete in %.2f s wall", wall_s)
         return FleetResult(
-            spec=self.spec, nodes=results, jobs=jobs, wall_s=wall_s
+            spec=self.spec,
+            nodes=results,
+            jobs=jobs,
+            wall_s=wall_s,
+            metrics=merged,
         )

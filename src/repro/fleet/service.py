@@ -219,7 +219,12 @@ class ServicedAnalyticalModel(AnalyticalModel):
             and queue_ns + ilp_ns + rtt_ns > config.timeout_ns
         )
         if fallback:
-            solution = solve(problem, backend="greedy")
+            solution = solve(problem, backend="greedy", obs=self.obs)
+            if self.obs is not None:
+                self.obs.registry.counter(
+                    "repro_solver_fallbacks_total",
+                    "Service requests that fell back to on-box greedy",
+                ).inc()
             event = ServiceEvent(
                 node_id=self.node_id,
                 window=self._window,
@@ -230,7 +235,7 @@ class ServicedAnalyticalModel(AnalyticalModel):
                 measured_wall_ns=int(solution.solve_wall_ns),
             )
         else:
-            solution = solve(problem, backend=self.backend)
+            solution = solve(problem, backend=self.backend, obs=self.obs)
             event = ServiceEvent(
                 node_id=self.node_id,
                 window=self._window,

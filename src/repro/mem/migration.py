@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.mem.system import TieredMemorySystem
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass
@@ -43,6 +44,8 @@ class MigrationEngine:
         recency_windows: Demotions skip pages accessed within this many
             recent profile windows (the kernel's ACCESSED-bit behaviour);
             see :meth:`repro.mem.system.TieredMemorySystem.move_region`.
+        obs: Observability bundle; each wave runs under a ``migrate``
+            span and bumps the migration counters (disabled by default).
     """
 
     def __init__(
@@ -50,6 +53,7 @@ class MigrationEngine:
         system: TieredMemorySystem,
         push_threads: int = 2,
         recency_windows: int = 1,
+        obs: Observability | None = None,
     ) -> None:
         if push_threads < 1:
             raise ValueError("push_threads must be >= 1")
@@ -59,6 +63,21 @@ class MigrationEngine:
         self.push_threads = push_threads
         self.recency_windows = recency_windows
         self.stats = MigrationStats()
+        self.obs = obs if obs is not None else NULL_OBS
+        registry = self.obs.registry
+        self._m_waves = registry.counter(
+            "repro_migration_waves_total", "Migration waves executed"
+        )
+        self._m_regions = registry.counter(
+            "repro_migrated_regions_total", "Regions that changed tier"
+        )
+        self._m_pages = registry.counter(
+            "repro_migrated_pages_total", "Pages that changed tier"
+        )
+        self._m_wave_ns = registry.histogram(
+            "repro_migration_wave_ns",
+            "Virtual wall nanoseconds per migration wave",
+        )
 
     def apply(self, moves: dict[int, int]) -> float:
         """Execute one wave of region moves.
@@ -71,17 +90,27 @@ class MigrationEngine:
             push-thread count).
         """
         wave_ns = 0.0
-        for region_id, dst_idx in sorted(moves.items()):
-            moved_before = self.system.migrated_pages
-            ns = self.system.move_region(
-                region_id, dst_idx, recency_windows=self.recency_windows
-            )
-            if ns > 0.0:
-                self.stats.regions_moved += 1
-            self.stats.pages_moved += self.system.migrated_pages - moved_before
-            wave_ns += ns
+        regions_before = self.stats.regions_moved
+        pages_before = self.stats.pages_moved
+        with self.obs.tracer.span("migrate", regions=len(moves)) as span:
+            for region_id, dst_idx in sorted(moves.items()):
+                moved_before = self.system.migrated_pages
+                ns = self.system.move_region(
+                    region_id, dst_idx, recency_windows=self.recency_windows
+                )
+                if ns > 0.0:
+                    self.stats.regions_moved += 1
+                self.stats.pages_moved += (
+                    self.system.migrated_pages - moved_before
+                )
+                wave_ns += ns
+            span.set(pages=self.stats.pages_moved - pages_before)
         self.stats.serial_ns += wave_ns
         self.stats.waves += 1
         wall_ns = wave_ns / self.push_threads
         self.stats.wave_ns.append(wall_ns)
+        self._m_waves.inc()
+        self._m_regions.inc(self.stats.regions_moved - regions_before)
+        self._m_pages.inc(self.stats.pages_moved - pages_before)
+        self._m_wave_ns.observe(wall_ns)
         return wall_ns

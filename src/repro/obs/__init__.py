@@ -1,0 +1,100 @@
+"""repro.obs -- unified observability: metrics, tracing, exporters.
+
+One :class:`Observability` bundle rides through a run: a
+:class:`~repro.obs.metrics.MetricsRegistry` of counters / gauges /
+log-scale histograms and a :class:`~repro.obs.trace.Tracer` of nested
+spans.  The engine, daemon, migration engine, solver registry and fleet
+all accept the bundle (default: the shared disabled :data:`NULL_OBS`,
+whose metric and span operations are no-ops) and the exporters turn the
+result into a Prometheus textfile or a ``chrome://tracing`` trace::
+
+    obs = Observability(metrics=True, tracing=True)
+    summary, session = run_scenario(spec, obs=obs)
+    write_prometheus(obs.registry, "run.prom")
+    write_chrome_trace(obs.span_dicts(), "run.trace.json")
+
+Metric naming scheme (see DESIGN.md §9): ``repro_<noun>_<unit|total>``
+with labels for low-cardinality dimensions (``backend``, ``tier``).
+Wall-clock-derived metrics are ``volatile``; deterministic consumers
+strip them with ``registry.snapshot(include_volatile=False)``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.exporters import (
+    parse_prometheus,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.logs import LOG_LEVELS, configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.sink import StreamSink
+from repro.obs.trace import Span, Tracer
+
+
+class Observability:
+    """The per-run observability bundle.
+
+    Args:
+        metrics: Enable the metrics registry.
+        tracing: Enable span collection.
+        pid: Node/process id stamped on exported spans (fleet lanes).
+    """
+
+    def __init__(
+        self, metrics: bool = True, tracing: bool = False, pid: int = 0
+    ) -> None:
+        self.registry = MetricsRegistry(enabled=metrics)
+        self.tracer = Tracer(enabled=tracing, pid=pid)
+        self.pid = pid
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any instrumentation is live."""
+        return self.registry.enabled or self.tracer.enabled
+
+    def span_dicts(self) -> list[dict]:
+        """Completed spans as dicts, each stamped with this pid."""
+        return [
+            {**span, "pid": self.pid} for span in self.tracer.to_dicts()
+        ]
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A bundle with both halves off (still safe to instrument)."""
+        return cls(metrics=False, tracing=False)
+
+
+#: Shared disabled bundle: the default ``obs`` everywhere, making the
+#: un-instrumented path a few no-op method calls per window.
+NULL_OBS = Observability.disabled()
+
+
+__all__ = [
+    "LOG_LEVELS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observability",
+    "Span",
+    "StreamSink",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "merge_snapshots",
+    "parse_prometheus",
+    "to_chrome_trace",
+    "to_prometheus",
+    "write_chrome_trace",
+    "write_prometheus",
+]

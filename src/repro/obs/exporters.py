@@ -1,0 +1,178 @@
+"""Standard-format exporters: Prometheus textfile and Chrome tracing.
+
+Two formats cover the two consumption modes:
+
+* **Prometheus textfile** (:func:`to_prometheus`) -- the node-exporter
+  textfile-collector format: drop the file in the collector directory
+  and the run's counters/gauges/histograms appear as fleet dashboards.
+  Histograms export as Prometheus *summaries* (quantiles + ``_sum`` +
+  ``_count``) because the log-scale bin set is far too fine to ship as
+  ``le`` buckets.
+* **Chrome trace-event JSON** (:func:`to_chrome_trace`) -- load the file
+  in ``chrome://tracing`` (or https://ui.perfetto.dev) to see the window
+  loop's span waterfall; fleet traces stamp one ``pid`` per node so each
+  node renders as its own lane.
+
+A tiny Prometheus parser (:func:`parse_prometheus`) rides along for the
+golden tests -- it round-trips exactly the subset this module emits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Quantiles exported for histogram metrics.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.999)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(label_key, extra: dict | None = None) -> str:
+    pairs = [(k, str(v)) for k, v in label_key]
+    if extra:
+        pairs += [(k, str(v)) for k, v in extra.items()]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in sorted(pairs))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    # Integral values print without an exponent so sums stay greppable.
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if isinstance(metric, (Counter, Gauge)):
+            kind = "counter" if isinstance(metric, Counter) else "gauge"
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {kind}")
+            for label_key in sorted(metric.series):
+                value = metric.series[label_key]
+                lines.append(
+                    f"{metric.name}{_format_labels(label_key)} "
+                    f"{_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} summary")
+            for label_key in sorted(metric.series):
+                series = metric.series[label_key]
+                for q in SUMMARY_QUANTILES:
+                    labels = _format_labels(label_key, {"quantile": q})
+                    value = series.percentile(100.0 * q)
+                    lines.append(
+                        f"{metric.name}{labels} {_format_value(value)}"
+                    )
+                base = _format_labels(label_key)
+                lines.append(
+                    f"{metric.name}_sum{base} {_format_value(series.total)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{base} {_format_value(series.count)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> Path:
+    """Write the registry as a Prometheus textfile; returns the path."""
+    path = Path(path)
+    path.write_text(to_prometheus(registry))
+    return path
+
+
+def parse_prometheus(text: str) -> dict[str, dict[tuple, float]]:
+    """Parse the subset of the exposition format this module writes.
+
+    Returns ``{metric_name: {label_tuple: value}}`` where ``label_tuple``
+    is a sorted tuple of ``(key, value)`` pairs.  Raises ``ValueError``
+    on any line it cannot parse, which is what the golden test wants.
+    """
+    out: dict[str, dict[tuple, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels_part, value_part = rest.rsplit("}", 1)
+            labels = []
+            for item in labels_part.split(","):
+                key, _, raw = item.partition("=")
+                if not (raw.startswith('"') and raw.endswith('"')):
+                    raise ValueError(f"bad label in line: {line!r}")
+                value = (
+                    raw[1:-1]
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels.append((key.strip(), value))
+            label_key = tuple(sorted(labels))
+            value_str = value_part.strip()
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"bad sample line: {line!r}")
+            name, value_str = parts
+            label_key = ()
+        out.setdefault(name.strip(), {})[label_key] = float(value_str)
+    return out
+
+
+def to_chrome_trace(
+    spans: Iterable[dict], *, time_origin_ns: int | None = None
+) -> dict:
+    """Convert span dicts to the Chrome trace-event JSON object.
+
+    Args:
+        spans: Span dicts (see :meth:`repro.obs.trace.Span.to_dict`),
+            optionally carrying a ``pid`` key (fleet node id).
+        time_origin_ns: Subtracted from every timestamp so the trace
+            starts near zero; defaults to the earliest span start.
+    """
+    spans = list(spans)
+    if time_origin_ns is None:
+        time_origin_ns = min(
+            (s["start_ns"] for s in spans), default=0
+        )
+    events = []
+    for span in spans:
+        args = {k: v for k, v in span.get("attrs", {}).items()}
+        args["span_id"] = span["span_id"]
+        if span["parent_id"]:
+            args["parent_id"] = span["parent_id"]
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span["start_ns"] - time_origin_ns) / 1000.0,
+                "dur": span["duration_ns"] / 1000.0,
+                "pid": span.get("pid", 0),
+                "tid": 0,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: (e["pid"], e["ts"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[dict], path) -> Path:
+    """Write spans as a ``chrome://tracing``-loadable JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(spans), indent=1))
+    return path

@@ -1,0 +1,48 @@
+"""Stdlib logging for driver progress output.
+
+Library code logs through ``logging.getLogger("repro.<subsystem>")`` and
+never configures handlers itself, so importing the package is silent and
+pytest runs stay quiet (un-configured loggers only surface WARNING and
+above through ``logging.lastResort``).  The CLI calls
+:func:`configure_logging` with its ``--log-level`` flag, which is when
+``INFO``-level progress lines (fleet dispatch, bench phases, export
+paths) become visible.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Accepted ``--log-level`` values.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<name>`` logger (pass a bare subsystem name)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: str = "warning") -> logging.Logger:
+    """Install one stderr handler on the ``repro`` root logger.
+
+    Idempotent: reconfiguring replaces the previous handler rather than
+    stacking a second one (the CLI may be invoked repeatedly in-process,
+    e.g. from the test suite).
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"log level must be one of {LOG_LEVELS}, got {level!r}"
+        )
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return root

@@ -1,0 +1,319 @@
+"""Metric primitives: counters, gauges and log-scale histograms.
+
+One :class:`MetricsRegistry` per run (or per fleet node) owns every
+metric.  The design goals, in order:
+
+* **near-zero cost when disabled** -- a disabled registry hands out a
+  shared null metric whose ``inc``/``set``/``observe`` are empty method
+  calls, so instrumentation sites never branch;
+* **deterministic merging** -- a registry serializes to a plain-dict
+  snapshot (picklable across fleet worker processes) and snapshots fold
+  into a parent registry in a fixed order, so ``jobs=1`` and ``jobs=J``
+  fleet runs merge to identical metrics;
+* **bounded memory** -- histograms fold observations into the same
+  fixed-bin log-scale geometry the daemon's latency accumulator uses
+  (base ``1.005`` bins from 1 ns to 1 s), keeping exact running sums for
+  the mean and < 0.5 % relative error on percentiles.
+
+Metrics that aggregate *real* wall-clock time (as opposed to virtual
+simulator time or event counts) are created with ``volatile=True``;
+deterministic consumers (the fleet merge test, golden comparisons) strip
+them via ``snapshot(include_volatile=False)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+#: Log-histogram geometry, shared with the daemon's latency accumulator:
+#: bin ``k`` spans ``[base**k, base**(k+1))`` nanoseconds and reports its
+#: geometric mean, bounding percentile error at ``sqrt(base) - 1``.
+LOG_BASE = 1.005
+NUM_BINS = int(math.ceil(math.log(1e9) / math.log(LOG_BASE)))
+_INV_LN_BASE = 1.0 / math.log(LOG_BASE)
+
+
+def bin_index(value: float) -> int:
+    """The histogram bin holding ``value`` (values < 1 clamp to bin 0)."""
+    if value <= 1.0:
+        return 0
+    return min(int(math.log(value) * _INV_LN_BASE), NUM_BINS - 1)
+
+
+def bin_value(index: int) -> float:
+    """Representative (geometric-mean) value of a bin."""
+    return LOG_BASE ** (index + 0.5)
+
+
+#: Label sets are stored as sorted ``(key, value)`` tuples.
+LabelKey = tuple
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _NullMetric:
+    """Shared no-op stand-in handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1, **labels) -> None:
+        pass
+
+    def set(self, value, **labels) -> None:
+        pass
+
+    def observe(self, value, weight=1.0, **labels) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class Counter:
+    """Monotonically increasing count, optionally split by labels."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "volatile", "series")
+
+    def __init__(self, name: str, help: str = "", volatile: bool = False):
+        self.name = name
+        self.help = help
+        self.volatile = volatile
+        self.series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self.series.get(_label_key(labels), 0.0)
+
+    def _state(self) -> dict:
+        return {lk: v for lk, v in self.series.items()}
+
+    def _merge_state(self, state: dict) -> None:
+        for key, value in state.items():
+            key = tuple(tuple(pair) for pair in key)
+            self.series[key] = self.series.get(key, 0.0) + value
+
+
+class Gauge:
+    """Last-written value (per label set).
+
+    Merging gauges is last-write-wins in merge order; fleet merges fold
+    node snapshots in node-id order, so the result is deterministic.
+    """
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "volatile", "series")
+
+    def __init__(self, name: str, help: str = "", volatile: bool = False):
+        self.name = name
+        self.help = help
+        self.volatile = volatile
+        self.series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self.series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self.series.get(_label_key(labels), 0.0)
+
+    def _state(self) -> dict:
+        return {lk: v for lk, v in self.series.items()}
+
+    def _merge_state(self, state: dict) -> None:
+        for key, value in state.items():
+            self.series[tuple(tuple(pair) for pair in key)] = value
+
+
+class _HistSeries:
+    """Sparse log-bin state for one label set."""
+
+    __slots__ = ("bins", "count", "total")
+
+    def __init__(self) -> None:
+        self.bins: dict[int, float] = {}
+        self.count = 0.0
+        self.total = 0.0
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            return
+        idx = bin_index(value)
+        self.bins[idx] = self.bins.get(idx, 0.0) + weight
+        self.count += weight
+        self.total += value * weight
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank weighted percentile over bin representatives."""
+        if not self.count:
+            return 0.0
+        target = self.count * p / 100.0
+        cum = 0.0
+        for idx in sorted(self.bins):
+            cum += self.bins[idx]
+            if cum >= target:
+                return bin_value(idx)
+        return bin_value(max(self.bins))
+
+
+class Histogram:
+    """Fixed-bin log-scale histogram with exact count/sum tracking."""
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "volatile", "series")
+
+    def __init__(self, name: str, help: str = "", volatile: bool = False):
+        self.name = name
+        self.help = help
+        self.volatile = volatile
+        self.series: dict[LabelKey, _HistSeries] = {}
+
+    def _series(self, labels: dict) -> _HistSeries:
+        key = _label_key(labels)
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = _HistSeries()
+        return series
+
+    def observe(self, value: float, weight: float = 1.0, **labels) -> None:
+        self._series(labels).observe(value, weight)
+
+    def count(self, **labels) -> float:
+        key = _label_key(labels)
+        return self.series[key].count if key in self.series else 0.0
+
+    def sum(self, **labels) -> float:
+        key = _label_key(labels)
+        return self.series[key].total if key in self.series else 0.0
+
+    def mean(self, **labels) -> float:
+        key = _label_key(labels)
+        return self.series[key].mean() if key in self.series else 0.0
+
+    def percentile(self, p: float, **labels) -> float:
+        key = _label_key(labels)
+        return self.series[key].percentile(p) if key in self.series else 0.0
+
+    def _state(self) -> dict:
+        return {
+            lk: {"bins": dict(s.bins), "count": s.count, "total": s.total}
+            for lk, s in self.series.items()
+        }
+
+    def _merge_state(self, state: dict) -> None:
+        for key, packed in state.items():
+            series = self._series(dict(tuple(pair) for pair in key))
+            for idx, weight in packed["bins"].items():
+                idx = int(idx)
+                series.bins[idx] = series.bins.get(idx, 0.0) + weight
+            series.count += packed["count"]
+            series.total += packed["total"]
+
+
+_KINDS = {m.kind: m for m in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Owns every metric of one run; disabled registries cost ~nothing.
+
+    Args:
+        enabled: When ``False``, every factory returns the shared
+            :data:`NULL_METRIC` and ``collect``/``snapshot`` stay empty.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- metric factories ----------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, volatile: bool):
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help, volatile)
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", volatile: bool = False):
+        """Get or create a :class:`Counter` named ``name``."""
+        return self._get_or_create(Counter, name, help, volatile)
+
+    def gauge(self, name: str, help: str = "", volatile: bool = False):
+        """Get or create a :class:`Gauge` named ``name``."""
+        return self._get_or_create(Gauge, name, help, volatile)
+
+    def histogram(self, name: str, help: str = "", volatile: bool = False):
+        """Get or create a :class:`Histogram` named ``name``."""
+        return self._get_or_create(Histogram, name, help, volatile)
+
+    # -- introspection -------------------------------------------------------
+
+    def collect(self) -> Iterator[Counter | Gauge | Histogram]:
+        """Metrics in name order (the deterministic export order)."""
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def get(self, name: str):
+        """The live metric named ``name`` (``None`` when absent)."""
+        return self._metrics.get(name)
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self, include_volatile: bool = True) -> dict:
+        """Picklable plain-dict state (fleet workers ship this home)."""
+        out = {}
+        for metric in self.collect():
+            if metric.volatile and not include_volatile:
+                continue
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "volatile": metric.volatile,
+                "series": metric._state(),
+            }
+        return out
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold one snapshot into this registry (sums counters and
+        histogram bins; gauges are last-write-wins in merge order)."""
+        if not self.enabled:
+            return
+        for name in sorted(snapshot):
+            packed = snapshot[name]
+            metric = self._get_or_create(
+                _KINDS[packed["kind"]],
+                name,
+                packed.get("help", ""),
+                packed.get("volatile", False),
+            )
+            metric._merge_state(packed["series"])
+
+
+def merge_snapshots(snapshots) -> MetricsRegistry:
+    """A fresh registry holding the fold of ``snapshots`` in order."""
+    registry = MetricsRegistry(enabled=True)
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry

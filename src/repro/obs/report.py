@@ -1,0 +1,93 @@
+"""Post-hoc reporting over exported event streams.
+
+``python -m repro report <events.jsonl>`` digests the JSONL streams the
+engine (``repro run --out``), the streaming sink, and the fleet
+(``repro fleet --out``) write, and prints a per-window summary table
+plus run totals.  Both stream shapes are accepted:
+
+* engine event rows -- ``{"event": "window_end", "window": 3, ...}``
+  (all four event kinds; only ``window_end``/``fault_burst`` contribute
+  to the summary),
+* fleet window rows -- flat per-window metric rows tagged with ``node``
+  (every row is a window record).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Metric columns summarized per window, in display order.
+SUMMARY_KEYS = (
+    "tco_savings_pct",
+    "faults",
+    "migration_ms",
+    "solver_ms",
+)
+
+
+def load_rows(path) -> list[dict]:
+    """Read a row stream: ``.jsonl`` (one object/line) or ``.json`` array."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    rows = json.loads(text)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path} does not contain a row array")
+    return rows
+
+
+def _window_end_rows(rows: list[dict]) -> list[dict]:
+    """The per-window metric rows, whichever stream shape was given."""
+    if any("event" in row for row in rows):
+        return [row for row in rows if row.get("event") == "window_end"]
+    return [row for row in rows if "window" in row]
+
+
+def window_summary(rows: list[dict]) -> list[dict]:
+    """One row per window: metrics averaged (and faults summed) over nodes."""
+    windows: dict[int, list[dict]] = {}
+    for row in _window_end_rows(rows):
+        windows.setdefault(int(row["window"]), []).append(row)
+    out = []
+    for window in sorted(windows):
+        group = windows[window]
+        summary: dict = {"window": window, "nodes": len(group)}
+        for key in SUMMARY_KEYS:
+            values = [float(r[key]) for r in group if key in r]
+            if not values:
+                continue
+            if key == "faults":
+                summary[key] = int(sum(values))
+            else:
+                summary[key] = sum(values) / len(values)
+        out.append(summary)
+    return out
+
+
+def run_totals(rows: list[dict]) -> dict:
+    """Whole-stream rollup: window count, fault totals, burst count."""
+    window_rows = _window_end_rows(rows)
+    bursts = [row for row in rows if row.get("event") == "fault_burst"]
+    totals: dict = {
+        "rows": len(rows),
+        "windows": len({int(r["window"]) for r in window_rows})
+        if window_rows
+        else 0,
+        "fault_bursts": len(bursts),
+    }
+    nodes = {row["node"] for row in window_rows if "node" in row}
+    if nodes:
+        totals["nodes"] = len(nodes)
+    faults = [float(r["faults"]) for r in window_rows if "faults" in r]
+    if faults:
+        totals["total_faults"] = int(sum(faults))
+    savings = [
+        float(r["tco_savings_pct"])
+        for r in window_rows
+        if "tco_savings_pct" in r
+    ]
+    if savings:
+        totals["mean_tco_savings_pct"] = sum(savings) / len(savings)
+    return totals

@@ -1,0 +1,68 @@
+"""Streaming event sink: bounded ring buffer plus JSONL spill.
+
+``EventLog`` historically kept *every* :class:`EngineEvent` in a list;
+on a multi-thousand-window fleet run that is the largest allocation in
+the worker.  A :class:`StreamSink` caps retention at a fixed ring of
+recent events while optionally spilling every event to a JSON-Lines
+file as it is emitted -- the long-run replacement for buffering the
+whole stream and exporting at the end.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+#: Default ring capacity: enough recent context for post-mortems without
+#: holding a long run in memory.
+DEFAULT_RING = 256
+
+
+class StreamSink:
+    """Bounded retention for an event stream.
+
+    Args:
+        ring: Recent events kept in memory (``collections.deque`` ring).
+        spill_path: When given, every event's flat row is appended to
+            this JSONL file as it arrives (opened lazily, line-buffered).
+    """
+
+    def __init__(self, ring: int = DEFAULT_RING, spill_path=None) -> None:
+        if ring < 1:
+            raise ValueError("ring must be >= 1")
+        self.ring: deque = deque(maxlen=ring)
+        self.spill_path = Path(spill_path) if spill_path else None
+        self.count = 0
+        self._spill_handle = None
+
+    def append(self, event) -> None:
+        """Record one event (ring + optional spill line)."""
+        self.ring.append(event)
+        self.count += 1
+        if self.spill_path is not None:
+            if self._spill_handle is None:
+                self._spill_handle = self.spill_path.open("w", buffering=1)
+            self._spill_handle.write(json.dumps(event.row(), sort_keys=True))
+            self._spill_handle.write("\n")
+
+    @property
+    def dropped(self) -> int:
+        """Events no longer in the ring (spilled or discarded)."""
+        return self.count - len(self.ring)
+
+    def recent(self) -> list:
+        """The retained (most recent) events, oldest first."""
+        return list(self.ring)
+
+    def close(self) -> None:
+        """Flush and close the spill file (safe to call twice)."""
+        if self._spill_handle is not None:
+            self._spill_handle.close()
+            self._spill_handle = None
+
+    def __enter__(self) -> StreamSink:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

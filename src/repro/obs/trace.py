@@ -1,0 +1,145 @@
+"""Span tracing: nested, exact-clock timing of the window loop.
+
+A :class:`Tracer` hands out context-manager spans::
+
+    with tracer.span("window", window=3):
+        with tracer.span("solve", policy="AM-TCO"):
+            ...
+
+Spans carry ``time.perf_counter_ns`` start/duration, a parent/child
+relationship maintained by a simple stack (the window loop is
+single-threaded per node), and a flat attribute dict.  Completed spans
+collect on ``tracer.spans`` in completion order and export to Chrome's
+``chrome://tracing`` trace-event JSON via :mod:`repro.obs.exporters`.
+
+A disabled tracer returns one shared null context manager, so the
+instrumented path costs a method call and an empty ``with`` when tracing
+is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) span.
+
+    Attributes:
+        name: Span kind (``window``, ``profile``, ``solve``, ``migrate``,
+            ``fault_path``, ...).
+        span_id: Unique id within the tracer.
+        parent_id: Enclosing span's id (0 = root).
+        start_ns: ``perf_counter_ns`` at entry.
+        duration_ns: Exclusive wall nanoseconds (0 while in flight).
+        attrs: Flat JSON-serializable attributes.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int
+    start_ns: int
+    duration_ns: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on the tracer."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: Tracer, span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the open span."""
+        self.span.attrs.update(attrs)
+
+    def __enter__(self) -> _SpanContext:
+        tracer = self._tracer
+        tracer._stack.append(self.span)
+        self.span.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tracer = self._tracer
+        span = tracer._stack.pop()
+        span.duration_ns = time.perf_counter_ns() - span.start_ns
+        tracer.spans.append(span)
+
+
+class _NullSpanContext:
+    """Shared do-nothing span for disabled tracers."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> _NullSpanContext:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Collects nested spans for one run.
+
+    Args:
+        enabled: Disabled tracers hand out :data:`NULL_SPAN` and record
+            nothing.
+        pid: Process/node id stamped on exported trace events (fleet
+            traces use the node id, so Chrome draws one lane per node).
+    """
+
+    def __init__(self, enabled: bool = True, pid: int = 0) -> None:
+        self.enabled = enabled
+        self.pid = pid
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs):
+        """Open a child span of the innermost active span."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent_id = self._stack[-1].span_id if self._stack else 0
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent_id,
+            start_ns=0,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        return _SpanContext(self, span)
+
+    @property
+    def depth(self) -> int:
+        """Currently open span count (0 when idle)."""
+        return len(self._stack)
+
+    def to_dicts(self) -> list[dict]:
+        """Completed spans as plain dicts (picklable for fleet workers)."""
+        return [span.to_dict() for span in self.spans]

@@ -20,25 +20,48 @@ SOLVERS: dict[str, Callable[[PlacementProblem], Solution]] = {
 }
 
 
-def solve(problem: PlacementProblem, backend: str = "auto") -> Solution:
-    """Solve a placement instance with the chosen backend.
+def resolve_backend(problem: PlacementProblem, backend: str = "auto") -> str:
+    """The concrete backend ``solve`` will run for this instance.
 
     ``"auto"`` picks branch-and-bound for tiny instances (exact, no scipy
     dependency in the hot path), scipy/HiGHS for mid-size instances and the
     greedy heuristic beyond that -- mirroring how the paper runs the ILP
     locally for simple instances and remotely for heavy ones (§8.4).
     """
-    if backend == "auto":
-        if problem.num_regions <= min(12, MAX_REGIONS):
-            return solve_branch_bound(problem)
-        if problem.num_regions * problem.num_tiers <= 4096:
-            return solve_scipy(problem)
-        return solve_greedy(problem)
-    try:
-        fn = SOLVERS[backend]
-    except KeyError:
-        raise KeyError(
-            f"unknown solver backend {backend!r}; "
-            f"available: {sorted(SOLVERS)} or 'auto'"
-        ) from None
-    return fn(problem)
+    if backend != "auto":
+        if backend not in SOLVERS:
+            raise KeyError(
+                f"unknown solver backend {backend!r}; "
+                f"available: {sorted(SOLVERS)} or 'auto'"
+            )
+        return backend
+    if problem.num_regions <= min(12, MAX_REGIONS):
+        return "branch_bound"
+    if problem.num_regions * problem.num_tiers <= 4096:
+        return "scipy"
+    return "greedy"
+
+
+def solve(
+    problem: PlacementProblem, backend: str = "auto", obs=None
+) -> Solution:
+    """Solve a placement instance with the chosen backend.
+
+    See :func:`resolve_backend` for how ``"auto"`` chooses.  When an
+    :class:`~repro.obs.Observability` bundle is given, each solve records
+    its measured wall time into the ``repro_solve_wall_ns`` histogram and
+    bumps ``repro_solves_total``, both labeled with the concrete backend.
+    """
+    name = resolve_backend(problem, backend)
+    solution = SOLVERS[name](problem)
+    if obs is not None and obs.registry.enabled:
+        registry = obs.registry
+        registry.counter(
+            "repro_solves_total", "Placement solves, by backend"
+        ).inc(backend=name)
+        registry.histogram(
+            "repro_solve_wall_ns",
+            "Measured wall nanoseconds per solve, by backend",
+            volatile=True,
+        ).observe(solution.solve_wall_ns, backend=name)
+    return solution

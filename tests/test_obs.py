@@ -1,0 +1,360 @@
+"""Unit tests for the repro.obs subsystem."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.events import EventLog
+from repro.obs import (
+    NULL_OBS,
+    MetricsRegistry,
+    Observability,
+    StreamSink,
+    Tracer,
+    merge_snapshots,
+    parse_prometheus,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.obs.metrics import NUM_BINS, bin_index, bin_value
+from repro.obs.report import load_rows, run_totals, window_summary
+
+
+class TestMetrics:
+    def test_counter_inc_and_labels(self):
+        registry = MetricsRegistry()
+        c = registry.counter("repro_faults_total")
+        c.inc()
+        c.inc(4)
+        c.inc(2, tier="S1")
+        assert c.value() == 5
+        assert c.value(tier="S1") == 2
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("repro_tco_savings_pct")
+        g.set(12.5)
+        g.set(14.0)
+        assert g.value() == 14.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x")
+
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_y") is registry.counter("repro_y")
+
+    def test_disabled_registry_is_null(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("repro_z")
+        c.inc(100)  # no-op, no error
+        registry.histogram("repro_h").observe(5.0)
+        assert registry.snapshot() == {}
+        assert list(registry.collect()) == []
+
+    def test_histogram_mean_exact(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_lat_ns")
+        for v, w in [(10.0, 2), (100.0, 1), (1e6, 3)]:
+            h.observe(v, w)
+        expected = (10 * 2 + 100 * 1 + 1e6 * 3) / 6
+        assert h.mean() == pytest.approx(expected)
+        assert h.count() == 6
+        assert h.sum() == pytest.approx(expected * 6)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=1e8), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_percentile_error_bound(self, values):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_lat_ns")
+        for v in values:
+            h.observe(v)
+        for p in (50.0, 95.0, 99.9):
+            idx = min(
+                int(math.ceil(len(values) * p / 100.0)) - 1, len(values) - 1
+            )
+            exact = sorted(values)[max(idx, 0)]
+            approx = h.percentile(p)
+            # Geometric-mean representatives bound the relative error at
+            # sqrt(base) - 1 ~ 0.25 %; allow 0.5 % for rank boundaries.
+            assert approx == pytest.approx(exact, rel=5e-3)
+
+    def test_bin_geometry_matches_daemon_accumulator(self):
+        from repro.core.daemon import _LAT_BINS, _LAT_REPR
+
+        assert NUM_BINS == _LAT_BINS
+        idx = bin_index(1234.5)
+        assert bin_value(idx) == pytest.approx(float(_LAT_REPR[idx]))
+
+    def test_snapshot_merge_sums_counters_and_bins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 3), (b, 4)):
+            reg.counter("repro_c").inc(n, tier="S1")
+            reg.histogram("repro_h").observe(100.0, n)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged.get("repro_c").value(tier="S1") == 7
+        assert merged.get("repro_h").count() == 7
+        assert merged.get("repro_h").sum() == pytest.approx(700.0)
+
+    def test_merge_is_picklable_roundtrip(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("repro_c").inc(2)
+        registry.histogram("repro_h").observe(42.0)
+        snap = pickle.loads(pickle.dumps(registry.snapshot()))
+        merged = merge_snapshots([snap])
+        assert merged.get("repro_c").value() == 2
+
+    def test_volatile_metrics_strippable(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_det").inc()
+        registry.histogram("repro_wall_ns", volatile=True).observe(5.0)
+        snap = registry.snapshot(include_volatile=False)
+        assert "repro_det" in snap
+        assert "repro_wall_ns" not in snap
+
+
+class TestPrometheus:
+    def test_export_parses_and_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_faults_total", "faults").inc(42)
+        registry.counter("repro_solves_total").inc(3, backend="greedy")
+        registry.gauge("repro_tco_savings_pct").set(21.5)
+        h = registry.histogram("repro_solve_wall_ns")
+        h.observe(1000.0, 2)
+        text = to_prometheus(registry)
+        parsed = parse_prometheus(text)
+        assert parsed["repro_faults_total"][()] == 42
+        assert parsed["repro_solves_total"][(("backend", "greedy"),)] == 3
+        assert parsed["repro_tco_savings_pct"][()] == 21.5
+        assert parsed["repro_solve_wall_ns_count"][()] == 2
+        assert parsed["repro_solve_wall_ns_sum"][()] == 2000.0
+        quantile_keys = [
+            k for k in parsed["repro_solve_wall_ns"] if ("quantile", "0.5") in k
+        ]
+        assert quantile_keys
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c").inc(1, path='a"b\\c')
+        parsed = parse_prometheus(to_prometheus(registry))
+        assert parsed["repro_c"][(("path", 'a"b\\c'),)] == 1
+
+
+class TestTracer:
+    def test_spans_nest_and_complete(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("window", window=0):
+            with tracer.span("solve"):
+                pass
+            with tracer.span("migrate"):
+                pass
+        assert tracer.depth == 0
+        by_name = {s.name: s for s in tracer.spans}
+        window = by_name["window"]
+        for child in ("solve", "migrate"):
+            span = by_name[child]
+            assert span.parent_id == window.span_id
+            assert span.start_ns >= window.start_ns
+            assert span.end_ns <= window.end_ns
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("window") as span:
+            span.set(ignored=1)
+        assert tracer.spans == []
+
+    @given(
+        st.recursive(
+            st.just([]),
+            lambda children: st.lists(children, max_size=3),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nesting_property(self, tree):
+        tracer = Tracer(enabled=True)
+
+        def run(node, depth):
+            with tracer.span(f"d{depth}"):
+                for child in node:
+                    run(child, depth + 1)
+
+        run(tree, 0)
+        assert tracer.depth == 0
+        spans = {s.span_id: s for s in tracer.spans}
+        for span in tracer.spans:
+            if span.parent_id:
+                parent = spans[span.parent_id]
+                assert parent.start_ns <= span.start_ns
+                assert span.end_ns <= parent.end_ns
+
+    def test_chrome_trace_format(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("window", window=1):
+            with tracer.span("solve"):
+                pass
+        trace = to_chrome_trace(tracer.to_dicts())
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}
+        # JSON-serializable end to end.
+        json.dumps(trace)
+
+
+class TestStreamSink:
+    def test_ring_bounded_and_spill_complete(self, tmp_path):
+        from repro.engine.events import EngineEvent
+
+        spill = tmp_path / "events.jsonl"
+        sink = StreamSink(ring=4, spill_path=spill)
+        for w in range(10):
+            sink.append(EngineEvent("window_start", w))
+        sink.close()
+        assert len(sink.recent()) == 4
+        assert sink.count == 10
+        assert sink.dropped == 6
+        lines = spill.read_text().splitlines()
+        assert len(lines) == 10
+        assert json.loads(lines[0])["window"] == 0
+
+    def test_eventlog_streaming_mode(self):
+        log = EventLog(sink=StreamSink(ring=2))
+        for w in range(5):
+            log.emit("window_start", w)
+        assert log.event_count == 5
+        assert [e.window for e in log.events] == [3, 4]
+
+
+class TestHookIsolation:
+    def test_raising_hook_does_not_abort(self):
+        calls = []
+
+        def bad_hook(event):
+            raise RuntimeError("boom")
+
+        log = EventLog(hooks=(bad_hook, calls.append))
+        log.emit("window_start", 0)
+        log.emit("window_end", 0, faults=1)
+        assert len(calls) == 2  # the good hook still ran, both times
+        assert log.hook_error_count == 2
+        assert log.hook_errors[0]["error"] == "RuntimeError('boom')"
+
+    def test_hook_errors_counted_in_registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hook_errors_total")
+
+        def bad_hook(event):
+            raise ValueError("nope")
+
+        log = EventLog(hooks=(bad_hook,), error_counter=counter)
+        log.emit("window_start", 0)
+        assert counter.value() == 1
+
+
+class TestObservabilityBundle:
+    def test_null_obs_is_disabled(self):
+        assert not NULL_OBS.enabled
+        NULL_OBS.registry.counter("repro_x").inc()
+        with NULL_OBS.tracer.span("window"):
+            pass
+        assert NULL_OBS.tracer.spans == []
+        assert NULL_OBS.registry.snapshot() == {}
+
+    def test_span_dicts_stamp_pid(self):
+        obs = Observability(metrics=False, tracing=True, pid=7)
+        with obs.tracer.span("window"):
+            pass
+        assert obs.span_dicts()[0]["pid"] == 7
+
+
+class TestReport:
+    def _rows(self):
+        return [
+            {"event": "window_start", "window": 0},
+            {
+                "event": "window_end",
+                "window": 0,
+                "tco_savings_pct": 20.0,
+                "faults": 5,
+                "migration_ms": 1.0,
+                "solver_ms": 0.5,
+            },
+            {"event": "fault_burst", "window": 0, "faults": 5},
+            {
+                "event": "window_end",
+                "window": 1,
+                "tco_savings_pct": 30.0,
+                "faults": 7,
+                "migration_ms": 2.0,
+                "solver_ms": 0.25,
+            },
+        ]
+
+    def test_window_summary_and_totals(self):
+        rows = self._rows()
+        summary = window_summary(rows)
+        assert [r["window"] for r in summary] == [0, 1]
+        assert summary[0]["faults"] == 5
+        totals = run_totals(rows)
+        assert totals["windows"] == 2
+        assert totals["total_faults"] == 12
+        assert totals["fault_bursts"] == 1
+        assert totals["mean_tco_savings_pct"] == pytest.approx(25.0)
+
+    def test_fleet_shaped_rows(self):
+        rows = [
+            {"node": n, "window": w, "faults": 1, "tco_savings_pct": 10.0}
+            for n in range(2)
+            for w in range(3)
+        ]
+        summary = window_summary(rows)
+        assert len(summary) == 3
+        assert summary[0]["nodes"] == 2
+        assert summary[0]["faults"] == 2
+        assert run_totals(rows)["nodes"] == 2
+
+    def test_load_rows_jsonl_and_json(self, tmp_path):
+        rows = self._rows()
+        jsonl = tmp_path / "e.jsonl"
+        jsonl.write_text("\n".join(json.dumps(r) for r in rows))
+        assert load_rows(jsonl) == rows
+        as_json = tmp_path / "e.json"
+        as_json.write_text(json.dumps(rows))
+        assert load_rows(as_json) == rows
+
+
+class TestSolverObs:
+    def test_solve_records_backend_latency(self):
+        from repro.solver import solve
+        from repro.solver.problem import PlacementProblem
+
+        penalty = np.array([[0.0, 5.0], [0.0, 1.0], [0.0, 0.5], [0.0, 0.1]])
+        cost = np.array([[1.0, 0.2]] * 4)
+        problem = PlacementProblem(
+            penalty=penalty, cost=cost, budget=cost.min(axis=1).sum() + 1.0
+        )
+        obs = Observability(metrics=True)
+        solve(problem, backend="greedy", obs=obs)
+        assert obs.registry.get("repro_solves_total").value(backend="greedy") == 1
+        hist = obs.registry.get("repro_solve_wall_ns")
+        assert hist.volatile
+        assert hist.count(backend="greedy") == 1

@@ -1,0 +1,226 @@
+"""Integration tests: obs threaded through engine, fleet and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import ScenarioSpec, Session
+from repro.fleet import FleetRunner, ObsOptions, SolverServiceConfig
+from repro.obs import Observability, parse_prometheus, to_prometheus
+
+#: A small-but-real scenario shared by the tests in this module.
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(policy="waterfall", windows=4, scale=0.25, seed=0)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSessionInstrumentation:
+    def test_spans_nest_inside_windows(self):
+        obs = Observability(metrics=True, tracing=True)
+        session = Session(_spec(), obs=obs)
+        session.run()
+        spans = {s.span_id: s for s in obs.tracer.spans}
+        windows = [s for s in obs.tracer.spans if s.name == "window"]
+        assert len(windows) == 4
+        # Window spans are monotonically ordered and non-overlapping.
+        for earlier, later in zip(windows, windows[1:]):
+            assert earlier.attrs["window"] < later.attrs["window"]
+            assert earlier.end_ns <= later.start_ns
+        # Every inner span sits inside its parent's interval; every
+        # non-window span transitively belongs to some window span.
+        for span in obs.tracer.spans:
+            if span.parent_id:
+                parent = spans[span.parent_id]
+                assert parent.start_ns <= span.start_ns
+                assert span.end_ns <= parent.end_ns
+            if span.name != "window":
+                root = span
+                while root.parent_id:
+                    root = spans[root.parent_id]
+                assert root.name == "window"
+        kinds = {s.name for s in obs.tracer.spans}
+        assert {"window", "fault_path", "profile", "solve", "migrate"} <= kinds
+
+    def test_window_events_monotonic(self):
+        obs = Observability(metrics=True)
+        session = Session(_spec(), obs=obs)
+        session.run()
+        ends = [e for e in session.events if e.kind == "window_end"]
+        assert [e.window for e in ends] == sorted(e.window for e in ends)
+        starts = [e for e in session.events if e.kind == "window_start"]
+        assert [e.window for e in starts] == list(range(4))
+
+    def test_metrics_match_window_end_payloads(self):
+        """Golden cross-check: Prometheus sums == event payload sums."""
+        obs = Observability(metrics=True)
+        session = Session(_spec(windows=5), obs=obs)
+        session.run()
+        parsed = parse_prometheus(to_prometheus(obs.registry))
+        ends = [e for e in session.events if e.kind == "window_end"]
+        assert parsed["repro_windows_total"][()] == len(ends) == 5
+        assert parsed["repro_faults_total"][()] == sum(
+            e.data["faults"] for e in ends
+        )
+        migration_ms = sum(e.data["migration_ms"] for e in ends)
+        assert parsed["repro_migration_wave_ns_sum"][()] / 1e6 == pytest.approx(
+            migration_ms
+        )
+        assert parsed["repro_tco_savings_pct"][()] == pytest.approx(
+            ends[-1].data["tco_savings_pct"]
+        )
+
+    def test_disabled_obs_equivalent_to_default(self):
+        """The obs=None default and a disabled bundle produce the same run."""
+        plain = Session(_spec()).run()
+        disabled = Session(_spec(), obs=Observability.disabled()).run()
+        enabled = Session(
+            _spec(), obs=Observability(metrics=True, tracing=True)
+        ).run()
+        for other in (disabled, enabled):
+            assert other.tco_savings == plain.tco_savings
+            assert other.total_faults == plain.total_faults
+            assert other.slowdown == plain.slowdown
+
+    def test_hook_failure_is_isolated_and_surfaced(self):
+        def bad_hook(event):
+            if event.kind == "window_end":
+                raise RuntimeError("exporter died")
+
+        obs = Observability(metrics=True)
+        session = Session(_spec(), hooks=(bad_hook,), obs=obs)
+        summary = session.run()  # does not raise
+        assert summary.windows == 4
+        assert summary.extras["hook_errors"] == 4
+        assert obs.registry.get("repro_hook_errors_total").value() == 4
+
+
+class TestFleetMetricsMerge:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_fleet_window_rows_monotonic(self, jobs):
+        result = FleetRunner(
+            nodes=4, profile="micro", windows=3, jobs=jobs
+        ).run()
+        for node in result.nodes:
+            windows = [row["window"] for row in node.window_rows]
+            assert windows == sorted(windows) == list(range(3))
+
+    def test_merge_deterministic_across_jobs(self):
+        kwargs = dict(nodes=4, profile="micro", windows=3)
+        service = SolverServiceConfig(deployment="remote", timeout_ms=5.0)
+        snaps = []
+        for jobs in (1, 4):
+            result = FleetRunner(jobs=jobs, service=service, **kwargs).run()
+            snaps.append(result.metrics.snapshot(include_volatile=False))
+        assert snaps[0] == snaps[1]
+        merged = snaps[0]
+        # All four nodes' windows landed in the merge.
+        windows = merged["repro_windows_total"]["series"][()]
+        assert windows == 4 * 3
+
+    def test_fleet_fallbacks_counted(self):
+        service = SolverServiceConfig(
+            deployment="remote", servers=1, timeout_ms=1e-3
+        )
+        result = FleetRunner(
+            nodes=3, profile="micro", windows=2, policy="am-tco",
+            service=service,
+        ).run()
+        total_fallbacks = sum(n.stats.fallbacks for n in result.nodes)
+        assert total_fallbacks > 0
+        counter = result.metrics.get("repro_solver_fallbacks_total")
+        assert counter is not None
+        assert counter.value() == total_fallbacks
+
+    def test_fleet_tracing_one_pid_per_node(self):
+        result = FleetRunner(
+            nodes=3,
+            profile="micro",
+            windows=2,
+            jobs=2,
+            obs=ObsOptions(metrics=True, tracing=True),
+        ).run()
+        pids = {span["pid"] for span in result.spans}
+        assert pids == {0, 1, 2}
+
+
+class TestObsCli:
+    def test_run_scenario_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "t.trace.json"
+        prom = tmp_path / "m.prom"
+        out = tmp_path / "events.jsonl"
+        rc = main(
+            [
+                "run",
+                "examples/scenario_waterfall.json",
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(prom),
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        trace_doc = json.loads(trace.read_text())
+        assert trace_doc["traceEvents"], "trace must be Chrome-loadable"
+        assert {e["ph"] for e in trace_doc["traceEvents"]} == {"X"}
+        parsed = parse_prometheus(prom.read_text())
+        assert parsed["repro_windows_total"][()] > 0
+        # Streamed JSONL export: every line parses, windows are ordered.
+        rows = [
+            json.loads(line) for line in out.read_text().splitlines() if line
+        ]
+        ends = [r for r in rows if r["event"] == "window_end"]
+        assert [r["window"] for r in ends] == sorted(r["window"] for r in ends)
+        assert parsed["repro_faults_total"][()] == sum(
+            r["faults"] for r in ends
+        )
+
+    def test_report_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        assert (
+            main(["run", "examples/scenario_waterfall.json", "--out", str(out)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "per-window summary" in printed
+        assert "run totals" in printed
+
+    def test_report_missing_file_exits_2(self, capsys):
+        assert main(["report", "/nonexistent/events.jsonl"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_fleet_trace_and_metrics(self, tmp_path):
+        trace = tmp_path / "fleet.trace.json"
+        prom = tmp_path / "fleet.prom"
+        rc = main(
+            [
+                "fleet",
+                "--nodes",
+                "2",
+                "--windows",
+                "2",
+                "--profile",
+                "micro",
+                "--out",
+                str(tmp_path / "ev.jsonl"),
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(prom),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert {e["pid"] for e in doc["traceEvents"]} == {0, 1}
+        parsed = parse_prometheus(prom.read_text())
+        assert parsed["repro_windows_total"][()] == 4
+
+    def test_log_level_flag_accepted(self, capsys):
+        assert main(["--log-level", "info", "list"]) == 0
