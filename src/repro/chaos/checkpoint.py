@@ -1,0 +1,135 @@
+"""Node checkpoint/resume: pickle the simulation, not the harness.
+
+A checkpoint is one ``pickle.dumps`` of the session's *deterministic*
+simulation state: workload stream (mid-RNG), tiered system, placement
+model (with its injector), profiler, migration stats, window records and
+a metrics snapshot.  Everything harness-shaped -- the observability
+bundle, event hooks, the streaming sink -- is deliberately excluded:
+those hold process-local resources (registries, open files, closures)
+and are rebuilt fresh on restore.
+
+The resume contract: a session restored from the window-``k`` checkpoint
+and run to completion produces byte-identical records, summaries and
+fault events to the uninterrupted run -- the crash only discards work
+after ``k``, never state before it.  Metrics survive because the
+checkpoint carries a registry *snapshot* which is merged into the fresh
+registry on restore, so counters accumulated before the crash are not
+double- or under-counted.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+CHECKPOINT_VERSION = 1
+
+
+def _wrapped_models(policy) -> list:
+    """The policy plus any models a resilient wrapper delegates to."""
+    models = [policy]
+    primary = getattr(policy, "primary", None)
+    if primary is not None:
+        models.append(primary)
+        models.extend(getattr(policy, "_fallbacks", {}).values())
+    return models
+
+
+def capture_session(session, rows=()) -> bytes:
+    """Serialize a session's simulation state to one checkpoint blob.
+
+    Args:
+        session: A live :class:`~repro.engine.session.Session`.
+        rows: Caller-accumulated per-window payloads to carry across the
+            resume (the fleet worker's export rows).
+    """
+    models = _wrapped_models(session.policy)
+    saved_obs = [(model, model.obs) for model in models]
+    for model in models:
+        model.obs = None
+    try:
+        state = {
+            "version": CHECKPOINT_VERSION,
+            "spec": session.spec.to_dict(),
+            "windows_done": len(session.daemon.records),
+            "workload": session.workload,
+            "system": session.system,
+            "policy": session.policy,
+            "profiler": session.daemon.profiler,
+            "prefetcher": session.daemon.prefetcher,
+            "engine_stats": session.daemon.engine.stats,
+            "prev_faults": session.daemon._prev_faults,
+            "latencies": session.daemon._latencies,
+            "records": session.daemon.records,
+            "fault_history": session._fault_history,
+            "injector": session.injector,
+            "metrics": session.obs.registry.snapshot(),
+            "rows": list(rows),
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        for model, obs in saved_obs:
+            model.obs = obs
+
+
+def restore_session(blob: bytes, *, hooks=(), obs=None, sink=None):
+    """Rebuild a runnable session from a checkpoint blob.
+
+    The session is constructed through the normal
+    :class:`~repro.engine.session.Session` path with the checkpointed
+    objects passed as prebuilt overrides, then its daemon's mutable
+    loop state (profiler, stats, records) is swapped for the
+    checkpointed versions.  A fresh observability bundle absorbs the
+    checkpoint's metrics snapshot.
+
+    Returns:
+        ``(session, rows, windows_done)`` -- the restored session, the
+        caller rows captured with the checkpoint, and how many windows
+        the checkpoint had completed.
+    """
+    from repro.engine.session import Session
+    from repro.engine.spec import ScenarioSpec
+
+    state = pickle.loads(blob)
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {state.get('version')!r} != "
+            f"{CHECKPOINT_VERSION}"
+        )
+    spec = ScenarioSpec.from_dict(state["spec"])
+    session = Session(
+        spec,
+        workload=state["workload"],
+        system=state["system"],
+        policy=state["policy"],
+        hooks=hooks,
+        obs=obs,
+        sink=sink,
+        injector=state["injector"],
+    )
+    daemon = session.daemon
+    daemon.profiler = state["profiler"]
+    if state["prefetcher"] is not None:
+        daemon.prefetcher = state["prefetcher"]
+    daemon.engine.stats = state["engine_stats"]
+    daemon._prev_faults = state["prev_faults"]
+    daemon._latencies = state["latencies"]
+    daemon.records = state["records"]
+    session._fault_history = state["fault_history"]
+    if session.obs.registry.enabled and state["metrics"]:
+        session.obs.registry.merge_snapshot(state["metrics"])
+    return session, list(state["rows"]), int(state["windows_done"])
+
+
+def save_checkpoint(path, blob: bytes) -> Path:
+    """Write a checkpoint blob to disk (atomic rename)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(blob)
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(path) -> bytes:
+    """Read a checkpoint blob from disk."""
+    return Path(path).read_bytes()

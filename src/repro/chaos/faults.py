@@ -1,0 +1,373 @@
+"""Fault plans and the deterministic fault injector.
+
+A :class:`FaultPlan` is data: a list of :class:`FaultSpec` events (what
+kind of failure, which window, for how long, how hard) plus the recovery
+parameters (retry budget, backoff, hysteresis).  It round-trips through
+plain dicts/JSON and rides inside a
+:class:`~repro.engine.spec.ScenarioSpec` under the ``faults`` key, so a
+chaos run is described -- and replayed bit-for-bit -- by the same file
+that describes the scenario.
+
+A :class:`FaultInjector` is the live counterpart: one per session (or
+per fleet node), holding a seeded RNG substream, the capacity-shock
+bookkeeping and the event buffer the session drains into its structured
+event log.  The injector is deliberately *pure state*: it never holds an
+observability bundle or any other unpicklable reference, which is what
+lets checkpoints carry it across a simulated node crash.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.seeding import child_seed
+
+#: The failure modes the injector can schedule.
+FAULT_KINDS = (
+    "solver_timeout",
+    "solver_crash",
+    "migration_partial",
+    "telemetry_dropout",
+    "capacity_shock",
+    "node_crash",
+)
+
+#: Fault kinds that attack the solver path (retried, then degraded).
+SOLVER_KINDS = ("solver_timeout", "solver_crash")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled failure.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        window: First window the fault is active in.
+        duration: Windows the fault stays active (``node_crash`` ignores
+            this: a crash is a point event at ``window``).
+        magnitude: Kind-specific severity in ``(0, 1]``: the fraction of
+            a migration wave that fails, or the fraction of a tier's
+            capacity a shock removes.
+        attempts: For solver kinds: how many retry attempts fail before
+            the call succeeds (``None`` = every attempt fails, forcing
+            degradation).
+        tier: For ``capacity_shock``: the tier name to squeeze
+            (``None`` picks the first compressed tier).
+        node: Restrict the fault to one fleet node id (``None`` = every
+            node; single-node sessions match any value via node=None).
+    """
+
+    kind: str
+    window: int
+    duration: int = 1
+    magnitude: float = 1.0
+    attempts: int | None = None
+    tier: str | None = None
+    node: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"available: {', '.join(FAULT_KINDS)}"
+            )
+        if self.window < 0:
+            raise ValueError(f"fault window must be >= 0, got {self.window}")
+        if self.duration < 1:
+            raise ValueError(
+                f"fault duration must be >= 1, got {self.duration}"
+            )
+        if not 0.0 < self.magnitude <= 1.0:
+            raise ValueError(
+                f"fault magnitude must be in (0, 1], got {self.magnitude}"
+            )
+        if self.attempts is not None and self.attempts < 1:
+            raise ValueError("attempts must be >= 1 when given")
+
+    def covers(self, window: int) -> bool:
+        """Whether the fault is active in ``window``."""
+        return self.window <= window < self.window + self.duration
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; ``None`` optionals are omitted (TOML has no
+        null, and :meth:`from_dict` restores the defaults)."""
+        data = asdict(self)
+        return {k: v for k, v in data.items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown fault keys: {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full chaos schedule plus the recovery-policy parameters.
+
+    Attributes:
+        events: The scheduled faults.
+        seed: Seed of the injector's jitter substream (independent of
+            the scenario's workload/daemon streams).
+        max_retries: Solver retries before the daemon degrades.
+        backoff_ms: Base retry backoff; attempt ``k`` waits
+            ``backoff_ms * 2**k`` (virtual) milliseconds, scaled by
+            jitter.
+        jitter: Relative jitter on each backoff delay, in ``[0, 1]``.
+        recover_windows: Clean windows required before the degradation
+            controller steps back up one level (hysteresis).
+    """
+
+    events: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    max_retries: int = 3
+    backoff_ms: float = 1.0
+    jitter: float = 0.25
+    recover_windows: int = 2
+
+    def __post_init__(self) -> None:
+        events = tuple(
+            e if isinstance(e, FaultSpec) else FaultSpec.from_dict(dict(e))
+            for e in self.events
+        )
+        object.__setattr__(self, "events", events)
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_ms < 0:
+            raise ValueError("backoff_ms must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.recover_windows < 1:
+            raise ValueError("recover_windows must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "events": [e.to_dict() for e in self.events],
+            "seed": self.seed,
+            "max_retries": self.max_retries,
+            "backoff_ms": self.backoff_ms,
+            "jitter": self.jitter,
+            "recover_windows": self.recover_windows,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        data = dict(data)
+        data["events"] = tuple(data.get("events", ()))
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a fault plan must be one JSON object")
+        return cls.from_dict(data)
+
+    def kinds(self) -> tuple[str, ...]:
+        """Distinct fault kinds scheduled, in :data:`FAULT_KINDS` order."""
+        present = {e.kind for e in self.events}
+        return tuple(k for k in FAULT_KINDS if k in present)
+
+
+class FaultInjector:
+    """Replays one node's slice of a fault plan, deterministically.
+
+    The injector answers point queries from the instrumented layers
+    ("does the solver call fail on attempt 2 of window 5?", "what
+    fraction of this wave fails?") and buffers structured ``fault`` /
+    ``recovery`` notes that the session drains into its event log.  All
+    randomness comes from one seeded substream
+    (``child_seed(plan.seed, node + 1)``), so a plan replays
+    bit-identically -- on one process or across a fleet.
+
+    Args:
+        plan: The fault plan.
+        node: Fleet node id; events pinned to a different node are
+            filtered out.  ``None`` (single-node sessions) keeps every
+            event and seeds the base substream.
+    """
+
+    def __init__(self, plan: FaultPlan, node: int | None = None) -> None:
+        self.plan = plan
+        self.node = node
+        self.events: tuple[FaultSpec, ...] = tuple(
+            e
+            for e in plan.events
+            if node is None or e.node is None or e.node == node
+        )
+        seed = plan.seed if node is None else child_seed(plan.seed, node + 1)
+        self._rng = np.random.default_rng(seed)
+        #: Fault/recovery occurrence counts by kind (CLI recovery table).
+        self.counts: dict[str, int] = {}
+        self._notes: list[tuple[str, int, dict]] = []
+        # Capacity shocks currently applied: tier index -> saved capacity.
+        self._shocked: dict[int, int] = {}
+        # Crash windows already taken (survived after a resume).
+        self._survived_crashes: set[int] = set()
+
+    # -- queries -------------------------------------------------------------
+
+    def active(self, kind: str, window: int) -> list[FaultSpec]:
+        """The ``kind`` faults covering ``window``, in schedule order."""
+        return [e for e in self.events if e.kind == kind and e.covers(window)]
+
+    def solver_fault(self, window: int, attempt: int) -> FaultSpec | None:
+        """The solver fault that fails ``attempt`` of ``window``, if any.
+
+        A fault with ``attempts=k`` is transient: its first ``k``
+        attempts fail and attempt ``k`` succeeds (retry saves the
+        window).  ``attempts=None`` fails every attempt.
+        """
+        for event in self.events:
+            if event.kind not in SOLVER_KINDS or not event.covers(window):
+                continue
+            if event.attempts is None or attempt < event.attempts:
+                return event
+        return None
+
+    def telemetry_dropout(self, window: int) -> bool:
+        """Whether this window's PEBS samples are lost."""
+        return bool(self.active("telemetry_dropout", window))
+
+    def migration_failure(self, window: int) -> float | None:
+        """Failing fraction of this window's migration wave, if any."""
+        events = self.active("migration_partial", window)
+        if not events:
+            return None
+        return max(e.magnitude for e in events)
+
+    def clean(self, window: int) -> bool:
+        """No solver fault or telemetry dropout active (for recovery
+        probing while degraded)."""
+        return self.solver_fault(window, 0) is None and not (
+            self.telemetry_dropout(window)
+        )
+
+    def node_crash_at(self, window: int) -> bool:
+        """Whether this node crashes entering ``window`` (once each)."""
+        return any(
+            e.kind == "node_crash"
+            and e.window == window
+            and window not in self._survived_crashes
+            for e in self.events
+        )
+
+    def survive_crash(self, window: int) -> None:
+        """Disarm the ``window`` crash after a resume replays past it."""
+        self._survived_crashes.add(window)
+
+    def has_crashes(self) -> bool:
+        return any(e.kind == "node_crash" for e in self.events)
+
+    # -- randomness ----------------------------------------------------------
+
+    def uniform(self) -> float:
+        """One draw from the injector's jitter substream."""
+        return float(self._rng.random())
+
+    # -- notes (drained into the session event log) --------------------------
+
+    def note(self, event: str, window: int, **data) -> None:
+        """Buffer one ``fault`` / ``recovery`` note and count its kind."""
+        kind = data.get("kind", event)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self._notes.append((event, window, data))
+
+    def drain(self) -> list[tuple[str, int, dict]]:
+        """Take the buffered notes (the session emits them as events)."""
+        notes, self._notes = self._notes, []
+        return notes
+
+    def validate_against(self, system) -> None:
+        """Fail fast on faults that could otherwise only fail mid-run.
+
+        Resolves every ``capacity_shock`` target against ``system`` so an
+        unknown or byte-addressable tier name is rejected at session
+        construction (exit 2 from the CLI) instead of windows later.
+        """
+        for event in self.events:
+            if event.kind == "capacity_shock":
+                self._shock_tier_index(event, system)
+
+    # -- capacity shocks -----------------------------------------------------
+
+    def begin_window(self, window: int, system) -> None:
+        """Apply/expire capacity shocks for ``window``.
+
+        An active shock shrinks the target compressed tier's
+        ``capacity_pages`` by its magnitude (largest magnitude wins if
+        several shocks target one tier).  Shrinking below the current
+        pool size is fine: ``free_pages`` goes negative and the existing
+        admission paths redirect new stores, exactly like real tier
+        pressure -- resident data is never dropped.  When the last shock
+        on a tier expires, the saved capacity is restored.
+        """
+        desired: dict[int, float] = {}
+        starting: dict[int, bool] = {}
+        for event in self.events:
+            if event.kind != "capacity_shock" or not event.covers(window):
+                continue
+            idx = self._shock_tier_index(event, system)
+            if event.magnitude > desired.get(idx, 0.0):
+                desired[idx] = event.magnitude
+            starting[idx] = starting.get(idx, False) or (
+                event.window == window
+            )
+        for idx in list(self._shocked):
+            if idx not in desired:
+                system.tiers[idx].capacity_pages = self._shocked.pop(idx)
+                self.note(
+                    "recovery",
+                    window,
+                    kind="capacity_restored",
+                    tier=system.tiers[idx].name,
+                )
+        for idx, magnitude in sorted(desired.items()):
+            tier = system.tiers[idx]
+            if idx not in self._shocked:
+                self._shocked[idx] = tier.capacity_pages
+                if starting.get(idx):
+                    self.note(
+                        "fault",
+                        window,
+                        kind="capacity_shock",
+                        tier=tier.name,
+                        magnitude=magnitude,
+                    )
+            original = self._shocked[idx]
+            tier.capacity_pages = int(original * (1.0 - magnitude))
+
+    @staticmethod
+    def _shock_tier_index(event: FaultSpec, system) -> int:
+        if event.tier is not None:
+            idx = system.tier_index(event.tier)
+        else:
+            idx = next(
+                (
+                    i
+                    for i, t in enumerate(system.tiers)
+                    if t.is_compressed
+                ),
+                None,
+            )
+            if idx is None:
+                raise ValueError(
+                    "capacity_shock needs a compressed tier in the mix"
+                )
+        if not system.tiers[idx].is_compressed:
+            raise ValueError(
+                f"capacity_shock targets byte tier "
+                f"{system.tiers[idx].name!r}; only compressed tiers can "
+                "be squeezed (tiers[0] must hold the whole address space)"
+            )
+        return idx

@@ -1,0 +1,65 @@
+"""Runtime capacity/accounting invariants for chaos runs.
+
+Fault injection is only useful if a surviving run is a *correct* run.
+:func:`check_capacity` asserts the accounting invariants every fault
+sequence must preserve -- the property tests call it after each window
+of a randomized chaos run, and it doubles as a debugging aid for new
+fault kinds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.tier import ByteAddressableTier, CompressedTier
+
+
+def check_capacity(system) -> None:
+    """Assert the system's residency and accounting invariants.
+
+    Checks, for any fault sequence:
+
+    * every application page is located in exactly one tier and the
+      per-tier residency counts match ``page_location``,
+    * byte tiers never exceed their capacity (capacity shocks target
+      compressed tiers only),
+    * each compressed tier's stored set matches ``page_location`` and
+      its ``compressed_bytes`` statistic equals the stored objects'
+      sizes (no page charged whose store failed).
+
+    Raises:
+        AssertionError: Naming the violated invariant and tier.
+    """
+    counts = np.bincount(system.page_location, minlength=len(system.tiers))
+    total = int(counts.sum())
+    assert total == system.space.num_pages, (
+        f"placement counts sum to {total}, expected "
+        f"{system.space.num_pages}"
+    )
+    for idx, tier in enumerate(system.tiers):
+        located = int(counts[idx])
+        if isinstance(tier, ByteAddressableTier):
+            assert tier.used_pages == located, (
+                f"byte tier {tier.name}: {tier.used_pages} resident but "
+                f"{located} pages located there"
+            )
+            assert 0 <= tier.used_pages <= tier.capacity_pages, (
+                f"byte tier {tier.name} over capacity: "
+                f"{tier.used_pages}/{tier.capacity_pages}"
+            )
+        elif isinstance(tier, CompressedTier):
+            assert tier.resident_pages == located, (
+                f"compressed tier {tier.name}: {tier.resident_pages} "
+                f"stored but {located} pages located there"
+            )
+            stored_bytes = sum(
+                s.compressed_size for s in tier._stored.values()
+            )
+            assert tier.stats.compressed_bytes == stored_bytes, (
+                f"compressed tier {tier.name}: accounting says "
+                f"{tier.stats.compressed_bytes} B but objects hold "
+                f"{stored_bytes} B"
+            )
+            assert tier.used_pages >= 0, (
+                f"compressed tier {tier.name} pool went negative"
+            )

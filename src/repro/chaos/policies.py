@@ -1,0 +1,294 @@
+"""Resilience policies: retry with backoff, degradation ladder, wrapper.
+
+The daemon survives injected (or real) solver failures through two
+mechanisms layered in :class:`ResilientModel`:
+
+1. **Retry** -- a failed solver call is retried up to
+   ``plan.max_retries`` times with exponential backoff and seeded
+   jitter.  The backoff is charged to *virtual* solver time, so retries
+   show up in the window's ``solver_ns`` exactly like a slow solve
+   would, and the jitter draws come from the injector's substream --
+   replays stay bit-identical.
+2. **Degradation** -- when retries are exhausted (or telemetry drops
+   out), the :class:`DegradationController` steps the daemon down a
+   ladder of ever-cheaper policies::
+
+       primary -> waterfall -> greedy -> frozen
+
+   Each failure window escalates one level immediately; each clean
+   window counts toward recovery, and after ``plan.recover_windows``
+   consecutive clean windows the controller steps back *up* one level
+   (hysteresis: a single good window never flaps the daemon back onto a
+   still-broken solver).
+
+``frozen`` recommends no moves at all -- the safest possible placement
+under total model loss: the system keeps serving from wherever pages
+already are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.faults import FaultInjector
+from repro.core.knob import Knob
+from repro.core.placement.analytical import AnalyticalModel
+from repro.core.placement.base import PlacementModel
+from repro.core.placement.waterfall import WaterfallModel
+
+#: The degradation ladder, level 0 (healthy) downward.
+DEGRADATION_MODES = ("primary", "waterfall", "greedy", "frozen")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with multiplicative jitter.
+
+    Attempt ``k``'s backoff is ``backoff_ms * 2**k`` milliseconds,
+    scaled by ``1 + jitter * u`` with ``u`` drawn from the injector's
+    seeded substream.
+    """
+
+    max_retries: int = 3
+    backoff_ms: float = 1.0
+    jitter: float = 0.25
+
+    def delay_ns(self, attempt: int, u: float) -> float:
+        """Virtual nanoseconds charged for failed attempt ``attempt``."""
+        base = self.backoff_ms * 1e6 * (2.0**attempt)
+        return base * (1.0 + self.jitter * u)
+
+
+class DegradationController:
+    """Hysteresis state machine over :data:`DEGRADATION_MODES`.
+
+    Escalates one level per failure window; de-escalates one level only
+    after ``recover_windows`` consecutive clean windows.
+    """
+
+    def __init__(self, recover_windows: int = 2) -> None:
+        if recover_windows < 1:
+            raise ValueError("recover_windows must be >= 1")
+        self.recover_windows = recover_windows
+        self.level = 0
+        self._clean = 0
+        #: ``(from_mode, to_mode)`` transition history.
+        self.transitions: list[tuple[str, str]] = []
+
+    @property
+    def mode(self) -> str:
+        return DEGRADATION_MODES[self.level]
+
+    def on_failure(self) -> bool:
+        """Record a failure window; returns True if the level escalated."""
+        self._clean = 0
+        if self.level < len(DEGRADATION_MODES) - 1:
+            before = self.mode
+            self.level += 1
+            self.transitions.append((before, self.mode))
+            return True
+        return False
+
+    def on_success(self) -> bool:
+        """Record a clean window; returns True if the level recovered."""
+        if self.level == 0:
+            return False
+        self._clean += 1
+        if self._clean >= self.recover_windows:
+            before = self.mode
+            self.level -= 1
+            self._clean = 0
+            self.transitions.append((before, self.mode))
+            return True
+        return False
+
+
+class ResilientModel(PlacementModel):
+    """Wraps a placement model with retry + degradation under faults.
+
+    The wrapper intercepts each window's ``recommend``: injected solver
+    faults (and genuine exceptions from the primary model) are retried
+    per the plan's :class:`RetryPolicy`, and exhaustion escalates the
+    :class:`DegradationController`.  While degraded, the window is
+    served by the level's fallback model -- :class:`WaterfallModel`
+    (telemetry-only, no solver), a greedy-backend
+    :class:`AnalyticalModel`, or the frozen no-move placement -- and
+    each clean window counts toward stepping back up.
+
+    The wrapper is transparent to the daemon: ``name`` mirrors the
+    primary (summaries stay comparable), ``solver_ns`` aggregates the
+    primary, the greedy fallback and the virtual retry backoff, and
+    setting ``obs`` fans out to every wrapped model.
+    """
+
+    def __init__(
+        self,
+        primary: PlacementModel,
+        injector: FaultInjector,
+        percentile: float = 25.0,
+    ) -> None:
+        self.primary = primary
+        self.injector = injector
+        plan = injector.plan
+        self.retry = RetryPolicy(
+            max_retries=plan.max_retries,
+            backoff_ms=plan.backoff_ms,
+            jitter=plan.jitter,
+        )
+        self.controller = DegradationController(plan.recover_windows)
+        knob = getattr(primary, "knob", None) or Knob.am_tco()
+        self._fallbacks: dict[str, PlacementModel] = {
+            "waterfall": WaterfallModel(percentile),
+            "greedy": AnalyticalModel(knob, backend="greedy", name="AM-degraded"),
+        }
+        self.retry_ns = 0.0
+        self._obs = None
+        self._m_retries = None
+        self._m_faults = None
+        self._m_degraded = None
+        self._m_recoveries = None
+
+    # -- daemon-facing surface (mirrors the wrapped primary) -----------------
+
+    @property
+    def name(self) -> str:
+        return self.primary.name
+
+    @property
+    def solver_ns(self) -> float:
+        return (
+            self.primary.solver_ns
+            + self._fallbacks["greedy"].solver_ns
+            + self.retry_ns
+        )
+
+    @property
+    def queue_ns(self) -> float:
+        return float(getattr(self.primary, "queue_ns", 0.0))
+
+    @property
+    def obs(self):
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
+        self.primary.obs = value
+        for model in self._fallbacks.values():
+            model.obs = value
+        if value is not None and value.registry.enabled:
+            registry = value.registry
+            self._m_retries = registry.counter(
+                "repro_chaos_retries_total",
+                "Solver attempts retried after an injected/real failure",
+            )
+            self._m_faults = registry.counter(
+                "repro_chaos_faults_total",
+                "Failure windows seen by the resilient model, by kind",
+            )
+            self._m_degraded = registry.counter(
+                "repro_chaos_degraded_windows_total",
+                "Windows served by a degraded placement mode, by mode",
+            )
+            self._m_recoveries = registry.counter(
+                "repro_chaos_recoveries_total",
+                "Degradation levels stepped back up after clean windows",
+            )
+        else:
+            self._m_retries = None
+            self._m_faults = None
+            self._m_degraded = None
+            self._m_recoveries = None
+
+    # -- the resilient window ------------------------------------------------
+
+    def recommend(self, record, system) -> dict[int, int]:
+        window = record.window
+        injector = self.injector
+        recommendation = None
+        failure: str | None = None
+        if self.controller.level == 0:
+            recommendation, failure = self._attempt_primary(
+                window, record, system
+            )
+        else:
+            # Degraded: probe solver health without paying retries.
+            fault = injector.solver_fault(window, 0)
+            if fault is not None:
+                failure = fault.kind
+        if failure is None and injector.telemetry_dropout(window):
+            # This window's profile is a cooled echo with no fresh
+            # samples; trust frozen/fallback placement over the primary.
+            failure = "telemetry_dropout"
+            recommendation = None
+        tracer = self._obs.tracer if self._obs is not None else None
+        if failure is not None:
+            self.controller.on_failure()
+            mode = self.controller.mode
+            injector.note(
+                "fault", window, kind="degraded", cause=failure, mode=mode
+            )
+            if self._m_faults is not None:
+                self._m_faults.inc(kind=failure)
+            if tracer is not None:
+                with tracer.span(
+                    "fault_injected", window=window, kind=failure, mode=mode
+                ):
+                    pass
+        else:
+            if self.controller.on_success():
+                mode = self.controller.mode
+                injector.note("recovery", window, kind="recovered", mode=mode)
+                if self._m_recoveries is not None:
+                    self._m_recoveries.inc()
+                if tracer is not None:
+                    with tracer.span("recovered", window=window, mode=mode):
+                        pass
+            if self.controller.level == 0:
+                if recommendation is None:
+                    # First window back at full health after a recovery.
+                    recommendation = self.primary.recommend(record, system)
+                return recommendation
+        mode = self.controller.mode
+        injector.counts["degraded_windows"] = (
+            injector.counts.get("degraded_windows", 0) + 1
+        )
+        if self._m_degraded is not None:
+            self._m_degraded.inc(mode=mode)
+        if mode == "frozen":
+            return {}
+        return self._fallbacks[mode].recommend(record, system)
+
+    def _attempt_primary(
+        self, window: int, record, system
+    ) -> tuple[dict[int, int] | None, str | None]:
+        """Run the primary with the retry loop; returns (rec, failure)."""
+        injector = self.injector
+        retry = self.retry
+        noted = False
+        for attempt in range(retry.max_retries + 1):
+            fault = injector.solver_fault(window, attempt)
+            if fault is None:
+                try:
+                    return self.primary.recommend(record, system), None
+                except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                    injector.note(
+                        "fault", window, kind="solver_error", error=repr(exc)
+                    )
+                    return None, "solver_error"
+            if not noted:
+                injector.note(
+                    "fault", window, kind=fault.kind, attempt=attempt
+                )
+                noted = True
+            # The failed attempt's backoff is virtual solver time.
+            self.retry_ns += retry.delay_ns(attempt, injector.uniform())
+            if attempt < retry.max_retries:
+                injector.counts["retries"] = (
+                    injector.counts.get("retries", 0) + 1
+                )
+                if self._m_retries is not None:
+                    self._m_retries.inc()
+            else:
+                return None, fault.kind
+        return None, "solver_error"  # pragma: no cover - loop always returns

@@ -193,6 +193,7 @@ def _run_scenario_file(path: str, args) -> int:
             "fault bursts in windows: "
             + ", ".join(str(w) for w in burst_windows)
         )
+    _print_chaos_summary(session)
     if args.out:
         if stream_out:
             print(f"event stream written to {args.out}")
@@ -204,6 +205,37 @@ def _run_scenario_file(path: str, args) -> int:
     if args.trace:
         print(f"trace written to {write_chrome_trace(obs.span_dicts(), args.trace)}")
     return 0
+
+
+def _print_chaos_summary(session) -> None:
+    """Print the injector's fault/recovery accounting after a chaos run."""
+    injector = session.injector
+    if injector is None:
+        return
+    rows = [
+        {"kind": kind, "count": count}
+        for kind, count in sorted(injector.counts.items())
+    ]
+    if rows:
+        print(format_table(rows, title="chaos: faults and recoveries"))
+    stats = session.daemon.engine.stats
+    extras = []
+    if stats.rollbacks:
+        extras.append(f"{stats.rollbacks} wave rollback(s)")
+    if stats.moves_dropped:
+        extras.append(f"{stats.moves_dropped} move(s) dropped")
+    if session.system.failed_stores:
+        extras.append(f"{session.system.failed_stores} failed store(s) undone")
+    if extras:
+        print("chaos: " + ", ".join(extras))
+    transitions = getattr(
+        getattr(session.policy, "controller", None), "transitions", ()
+    )
+    if transitions:
+        print(
+            "degradation transitions: "
+            + ", ".join(f"{a}->{b}" for a, b in transitions)
+        )
 
 
 def cmd_run(args) -> int:
@@ -327,14 +359,32 @@ def cmd_fleet(args) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"invalid fleet configuration: {message}", file=sys.stderr)
         return 2
-    from repro.fleet.runner import ObsOptions
+    from repro.fleet.runner import ChaosOptions, ObsOptions
 
+    chaos = None
+    if args.faults:
+        import json as _json
+
+        try:
+            plan = _json.loads(Path(args.faults).read_text())
+            chaos = ChaosOptions(
+                plan=plan,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+        except FileNotFoundError:
+            print(f"fault plan not found: {args.faults}", file=sys.stderr)
+            return 2
+        except (ValueError, TypeError) as exc:
+            print(f"invalid fault plan {args.faults!r}: {exc}", file=sys.stderr)
+            return 2
     runner = FleetRunner(
         spec,
         jobs=args.jobs,
         service=service,
         scheduler=scheduler,
         obs=ObsOptions(metrics=True, tracing=bool(args.trace)),
+        chaos=chaos,
     )
     result = runner.run()
 
@@ -355,6 +405,18 @@ def cmd_fleet(args) -> int:
         f"{rollup['fleet_mem_gb']:,.0f} GB), "
         f"{result.jobs} job(s), {result.wall_s:.1f} s wall"
     )
+    chaos_counts = result.chaos_counts
+    if chaos_counts:
+        rows = [
+            {"kind": kind, "count": count}
+            for kind, count in sorted(chaos_counts.items())
+        ]
+        print(format_table(rows, title="chaos: faults and recoveries"))
+        if result.resumes:
+            print(
+                f"chaos: {result.resumes} node crash/resume cycle(s) "
+                "recovered from checkpoints"
+            )
     path = export_fleet_events(result, args.out)
     print(f"per-window events written to {path}")
     if args.metrics:
@@ -575,6 +637,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         default=None,
         help="write the merged fleet metrics as a Prometheus textfile",
+    )
+    fleet.add_argument(
+        "--faults",
+        default=None,
+        help="fault-plan JSON file: inject chaos on every node",
+    )
+    fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=2,
+        help="windows between node checkpoints on crash-prone chaos runs",
+    )
+    fleet.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="also persist each node's latest checkpoint in this directory",
     )
     fleet.set_defaults(func=cmd_fleet)
 

@@ -152,6 +152,11 @@ class TSDaemon:
         obs: Observability bundle; the window loop emits ``fault_path``
             / ``profile`` / ``solve`` spans and the headline counters
             into it (disabled and free by default).
+        injector: Optional :class:`~repro.chaos.faults.FaultInjector`;
+            when given, each window first applies/expires capacity
+            shocks and telemetry-dropout windows skip the profiler's
+            sample recording (the window closes on cooled hotness only,
+            like a real PEBS gap).
     """
 
     def __init__(
@@ -167,6 +172,7 @@ class TSDaemon:
         telemetry: str = "pebs",
         seed: int = 0,
         obs: Observability | None = None,
+        injector=None,
     ) -> None:
         from repro.telemetry import make_profiler
 
@@ -187,10 +193,15 @@ class TSDaemon:
             seed=seed,
         )
         self.obs = obs if obs is not None else NULL_OBS
+        self.injector = injector
         # The solver registry and serviced models read ``model.obs`` for
         # per-solve latency / fallback accounting.
         self.model.obs = self.obs
         registry = self.obs.registry
+        self._m_dropouts = registry.counter(
+            "repro_chaos_telemetry_dropouts_total",
+            "Windows whose telemetry samples were dropped by injection",
+        )
         self._m_windows = registry.counter(
             "repro_windows_total", "Profile windows executed"
         )
@@ -216,6 +227,7 @@ class TSDaemon:
             push_threads=push_threads,
             recency_windows=recency_windows,
             obs=self.obs,
+            injector=injector,
         )
         self.prefetcher = None
         if prefetch_degree is not None:
@@ -230,6 +242,9 @@ class TSDaemon:
         """Execute one profile window over the given access batch."""
         system = self.system
         tracer = self.obs.tracer
+        injector = self.injector
+        if injector is not None:
+            injector.begin_window(len(self.records), system)
         system.advance_window()
         with tracer.span("fault_path") as span:
             batch = system.access_batch(
@@ -240,7 +255,16 @@ class TSDaemon:
         if self.prefetcher is not None and batch.faulted_pages:
             self.prefetcher.on_window(batch.faulted_pages)
         with tracer.span("profile"):
-            self.profiler.record(page_ids)
+            if injector is not None and injector.telemetry_dropout(
+                len(self.records)
+            ):
+                # PEBS gap: the window closes on cooled hotness alone.
+                self._m_dropouts.inc()
+                injector.note(
+                    "fault", len(self.records), kind="telemetry_dropout"
+                )
+            else:
+                self.profiler.record(page_ids)
             record = self.profiler.end_window()
 
         # Update region hotness for models that read it off the regions.

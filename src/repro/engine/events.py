@@ -9,7 +9,12 @@ window loop:
   exporters both consume),
 * ``migration``    -- the migration wave moved pages this window,
 * ``fault_burst``  -- this window's compressed-tier faults spiked above
-  the run's trailing mean (a thrashing signal).
+  the run's trailing mean (a thrashing signal),
+* ``fault``        -- the chaos injector fired (payload: the fault kind
+  and its context -- see :mod:`repro.chaos`),
+* ``recovery``     -- the resilience machinery recovered something (a
+  degradation level stepped back up, a capacity shock expired, a node
+  resumed from its checkpoint).
 
 Events are plain data (kind, window, flat payload), so exporting them is
 just :func:`repro.bench.export.export` on the flattened rows -- there is
@@ -36,7 +41,14 @@ from typing import Callable, Iterable
 from repro.obs.logs import get_logger
 
 #: The event kinds a session can emit.
-EVENT_KINDS = ("window_start", "window_end", "migration", "fault_burst")
+EVENT_KINDS = (
+    "window_start",
+    "window_end",
+    "migration",
+    "fault_burst",
+    "fault",
+    "recovery",
+)
 
 #: An event consumer: called synchronously as each event is emitted.
 EventHook = Callable[["EngineEvent"], None]
@@ -107,7 +119,9 @@ class EventLog:
     def subscribe(self, hook: EventHook) -> None:
         self._hooks.append(hook)
 
-    def emit(self, kind: str, window: int, **data) -> EngineEvent:
+    def emit(self, kind: str, window: int, /, **data) -> EngineEvent:
+        # kind/window are positional-only so the payload may carry its
+        # own "kind"/"window" keys (chaos fault notes do).
         if kind not in EVENT_KINDS:
             raise ValueError(
                 f"unknown event kind {kind!r}; available: {EVENT_KINDS}"

@@ -68,6 +68,13 @@ class Session:
             shared disabled bundle, whose operations are no-ops.
         sink: Optional :class:`~repro.obs.sink.StreamSink` for the event
             log (bounded ring + JSONL spill instead of full buffering).
+        injector: Prebuilt :class:`~repro.chaos.faults.FaultInjector`
+            (the fleet passes a node-filtered one); by default one is
+            built from ``spec.faults`` when present.  When an injector
+            is live, the policy is wrapped in a
+            :class:`~repro.chaos.policies.ResilientModel` and the
+            injector's fault/recovery notes are drained into the event
+            log each window.
     """
 
     def __init__(
@@ -81,9 +88,17 @@ class Session:
         hooks: tuple[EventHook, ...] = (),
         obs: Observability | None = None,
         sink=None,
+        injector=None,
     ) -> None:
         self.spec = spec
         self.obs = obs if obs is not None else NULL_OBS
+        if injector is None:
+            plan = spec.fault_plan()
+            if plan is not None:
+                from repro.chaos.faults import FaultInjector
+
+                injector = FaultInjector(plan)
+        self.injector = injector
         self.workload = (
             workload
             if workload is not None
@@ -101,6 +116,8 @@ class Session:
                 fast_same_algo_migration=spec.fast_same_algo_migration,
             )
         )
+        if injector is not None:
+            injector.validate_against(self.system)
         self.policy = (
             policy
             if policy is not None
@@ -112,6 +129,13 @@ class Session:
                 solver_backend=spec.solver_backend,
             )
         )
+        if injector is not None:
+            from repro.chaos.policies import ResilientModel
+
+            if not isinstance(self.policy, ResilientModel):
+                self.policy = ResilientModel(
+                    self.policy, injector, percentile=spec.percentile
+                )
         self.daemon = TSDaemon(
             self.system,
             self.policy,
@@ -124,6 +148,7 @@ class Session:
             telemetry=spec.telemetry,
             seed=spec.resolved_daemon_seed(),
             obs=self.obs,
+            injector=injector,
         )
         registry = self.obs.registry
         self.log = EventLog(
@@ -166,6 +191,9 @@ class Session:
             record = self.daemon.run_window(
                 page_ids, write_fraction=self.workload.write_fraction
             )
+        if self.injector is not None:
+            for kind, note_window, data in self.injector.drain():
+                self.log.emit(kind, note_window, **data)
         faults = int(record.faults.sum())
         self.log.emit(
             "window_end",

@@ -83,6 +83,10 @@ class ScenarioSpec:
         daemon_seed: Telemetry RNG seed; ``None`` derives ``seed + 1``
             (the single-node harness convention -- the fleet sets an
             explicitly spawned seed instead).
+        faults: Optional chaos schedule as a
+            :class:`~repro.chaos.faults.FaultPlan` dict (``events`` list
+            plus retry/recovery parameters); ``None`` runs fault-free.
+            Validated and normalized eagerly, like every other field.
     """
 
     name: str = ""
@@ -104,6 +108,7 @@ class ScenarioSpec:
     windows: int = 10
     seed: int = 0
     daemon_seed: int | None = None
+    faults: dict | None = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOADS:
@@ -139,6 +144,19 @@ class ScenarioSpec:
             raise ValueError(
                 f"cooling must be in [0, 1], got {self.cooling}"
             )
+        if self.faults is not None:
+            from repro.chaos.faults import FaultPlan
+
+            if not isinstance(self.faults, dict):
+                raise ValueError(
+                    "faults must be a fault-plan object (events + "
+                    "retry/recovery parameters)"
+                )
+            # Validate eagerly and store the normalized dict so equal
+            # plans serialize identically.
+            object.__setattr__(
+                self, "faults", FaultPlan.from_dict(self.faults).to_dict()
+            )
 
     # -- derived values ------------------------------------------------------
 
@@ -149,6 +167,14 @@ class ScenarioSpec:
     def resolved_daemon_seed(self) -> int:
         """The telemetry seed the session will use."""
         return self.seed + 1 if self.daemon_seed is None else self.daemon_seed
+
+    def fault_plan(self):
+        """The scenario's :class:`~repro.chaos.faults.FaultPlan`, if any."""
+        if self.faults is None:
+            return None
+        from repro.chaos.faults import FaultPlan
+
+        return FaultPlan.from_dict(self.faults)
 
     @property
     def label(self) -> str:
@@ -198,8 +224,24 @@ class ScenarioSpec:
         for key, value in tables:
             lines.append("")
             lines.append(f"[{key}]")
+            # Lists of dicts become arrays of tables ([[faults.events]]),
+            # after the table's scalar keys (TOML requires that order).
+            array_tables = []
             for sub_key, sub_value in value.items():
+                if isinstance(sub_value, list) and all(
+                    isinstance(item, dict) for item in sub_value
+                ):
+                    array_tables.append((sub_key, sub_value))
+                    continue
                 lines.append(f"{sub_key} = {_toml_value(sub_value)}")
+            for sub_key, items in array_tables:
+                for item in items:
+                    lines.append("")
+                    lines.append(f"[[{key}.{sub_key}]]")
+                    for k, v in item.items():
+                        if v is None:
+                            continue
+                        lines.append(f"{k} = {_toml_value(v)}")
         return "\n".join(lines) + "\n"
 
     @classmethod

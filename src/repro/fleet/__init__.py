@@ -18,15 +18,38 @@ the single-node reproduction to that level:
 
 Entry points: ``python -m repro fleet`` and
 ``examples/fleet_simulation.py``.
+
+Invariants the package maintains (tests in ``tests/test_fleet*.py``
+pin them):
+
+* **Merge determinism** -- every per-node result is a pure function of
+  the fleet spec, so ``jobs=1`` and ``jobs=J`` produce bit-identical
+  node summaries, window rows and merged metrics (volatile wall-clock
+  metrics aside); results are always folded in node-id order.
+* **Virtual-time coupling** -- all cross-node interaction (service
+  queueing, the alpha scheduler) is modeled from the spec alone, never
+  from worker timing, so parallelism cannot perturb results.
+* **Crash transparency** -- with a chaos plan
+  (:class:`~repro.fleet.runner.ChaosOptions`), a node that crashes and
+  resumes from its checkpoint yields the same summary and window rows
+  as an uninterrupted node; only the chaos counters record that the
+  crash happened.
 """
 
 from repro.fleet.metrics import fleet_rollup, node_rows, slowdown_distribution
-from repro.fleet.runner import FleetResult, FleetRunner, NodeResult, ObsOptions
+from repro.fleet.runner import (
+    ChaosOptions,
+    FleetResult,
+    FleetRunner,
+    NodeResult,
+    ObsOptions,
+)
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.service import ServicedAnalyticalModel, SolverServiceConfig
 from repro.fleet.spec import FleetSpec, NodeSpec
 
 __all__ = [
+    "ChaosOptions",
     "FleetResult",
     "FleetRunner",
     "FleetScheduler",

@@ -10,6 +10,16 @@ values: the merge just reassembles results in node order.
 
 Workers are dispatched in chunks (``chunksize``) so a large fleet does
 not pay one IPC round trip per node.
+
+Chaos runs (:class:`ChaosOptions`) thread a per-node
+:class:`~repro.chaos.faults.FaultInjector` through each worker.  Nodes
+with scheduled ``node_crash`` faults run window by window, checkpointing
+every ``checkpoint_every`` windows; a crash discards the live session
+and resumes from the last checkpoint, replaying the lost windows.
+Because the checkpoint carries the full deterministic simulation state
+(see :mod:`repro.chaos.checkpoint`), the resumed node's summary and
+per-window rows are identical to an uninterrupted run's, so the merged
+fleet rollup is too.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ import math
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.knob import Knob
 from repro.core.metrics import RunSummary
@@ -57,6 +68,45 @@ class ObsOptions:
     event_ring: int = 64
 
 
+@dataclass(frozen=True)
+class ChaosOptions:
+    """Fleet-level fault-injection switches shipped with each payload.
+
+    Attributes:
+        plan: A :class:`~repro.chaos.faults.FaultPlan` as a plain dict
+            (picklable); each worker builds its node-filtered injector
+            from it.  ``None`` disables chaos entirely.
+        checkpoint_every: Windows between checkpoints on nodes that can
+            crash (or when ``checkpoint_dir`` is set).
+        checkpoint_dir: Optional directory; each node's latest
+            checkpoint is also persisted there as
+            ``node-<id>.ckpt`` (the in-memory blob drives resume).
+    """
+
+    plan: dict | None = None
+    checkpoint_every: int = 2
+    checkpoint_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.plan is not None:
+            from repro.chaos.faults import FaultPlan
+
+            # Validate eagerly and normalize to the canonical dict form.
+            object.__setattr__(
+                self, "plan", FaultPlan.from_dict(dict(self.plan)).to_dict()
+            )
+
+    def injector_for(self, node_id: int):
+        """The node's injector, or ``None`` when chaos is off."""
+        if self.plan is None:
+            return None
+        from repro.chaos.faults import FaultInjector, FaultPlan
+
+        return FaultInjector(FaultPlan.from_dict(self.plan), node=node_id)
+
+
 @dataclass
 class NodeResult:
     """Everything one node brings back from its worker.
@@ -71,6 +121,9 @@ class NodeResult:
         metrics: The node's metrics-registry snapshot (empty when the
             run disabled metrics).
         spans: Completed span dicts (empty unless tracing was on).
+        chaos_counts: The injector's fault/recovery occurrence counts by
+            kind (empty when chaos was off).
+        resumes: Times the node crashed and resumed from a checkpoint.
     """
 
     spec: NodeSpec
@@ -80,6 +133,8 @@ class NodeResult:
     window_rows: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     spans: list[dict] = field(default_factory=list)
+    chaos_counts: dict = field(default_factory=dict)
+    resumes: int = 0
 
 
 @dataclass
@@ -112,6 +167,20 @@ class FleetResult:
         """All nodes' spans, in node-id order (one trace pid per node)."""
         return [span for node in self.nodes for span in node.spans]
 
+    @property
+    def chaos_counts(self) -> dict:
+        """Fleet-wide fault/recovery counts: node counts summed by kind."""
+        totals: dict[str, int] = {}
+        for node in self.nodes:
+            for kind, count in sorted(node.chaos_counts.items()):
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    @property
+    def resumes(self) -> int:
+        """Total node crash/resume cycles across the fleet."""
+        return sum(node.resumes for node in self.nodes)
+
 
 def _make_node_model(spec: NodeSpec, service: SolverServiceConfig):
     """Build the node's placement model, service-backed when analytical."""
@@ -136,7 +205,7 @@ def _make_node_model(spec: NodeSpec, service: SolverServiceConfig):
 
 
 def _run_node(
-    payload: tuple[NodeSpec, SolverServiceConfig, ObsOptions]
+    payload: tuple[NodeSpec, SolverServiceConfig, ObsOptions, ChaosOptions]
 ) -> NodeResult:
     """Worker entry point: simulate one node end to end.
 
@@ -148,14 +217,23 @@ def _run_node(
     per-window export rows are collected incrementally by a hook as each
     ``window_end`` fires, so a multi-thousand-window node never holds
     its full event stream in memory.
+
+    With a chaos plan, the node runs its injector-wrapped session; when
+    the plan schedules ``node_crash`` faults for this node, the window
+    loop runs here (instead of ``session.run``) so a crash can discard
+    the live session and resume from the last checkpoint.
     """
-    spec, service, obs_options = payload
+    spec, service, obs_options, chaos = payload
     model = _make_node_model(spec, service)
-    obs = Observability(
-        metrics=obs_options.metrics,
-        tracing=obs_options.tracing,
-        pid=spec.node_id,
-    )
+    injector = chaos.injector_for(spec.node_id)
+
+    def _make_obs() -> Observability:
+        return Observability(
+            metrics=obs_options.metrics,
+            tracing=obs_options.tracing,
+            pid=spec.node_id,
+        )
+
     window_payloads: list[tuple[int, dict]] = []
 
     def _collect_window(event) -> None:
@@ -166,12 +244,26 @@ def _run_node(
         spec.to_scenario(),
         policy=model,
         hooks=(_collect_window,),
-        obs=obs,
+        obs=_make_obs(),
         sink=StreamSink(ring=obs_options.event_ring),
+        injector=injector,
     )
-    summary = session.run()
-    events = list(getattr(model, "events", ()))
-    stats = getattr(model, "stats", None) or ServiceStats()
+    if injector is not None and (
+        injector.has_crashes() or chaos.checkpoint_dir is not None
+    ):
+        summary, session, resumes = _run_node_with_checkpoints(
+            spec, session, chaos, window_payloads, _collect_window, _make_obs,
+            ring=obs_options.event_ring,
+        )
+    else:
+        summary = session.run()
+        resumes = 0
+    # The resilient wrapper is transparent here: service events/stats
+    # live on the wrapped primary.
+    policy = session.policy
+    inner = getattr(policy, "primary", policy)
+    events = list(getattr(inner, "events", ()))
+    stats = getattr(inner, "stats", None) or ServiceStats()
     # The engine's per-window rows, tagged with node identity and the
     # solver-service view of each window.
     rows = []
@@ -188,6 +280,7 @@ def _run_node(
                 "fallback": bool(event.fallback) if event else False,
             }
         )
+    obs = session.obs
     return NodeResult(
         spec=spec,
         summary=summary,
@@ -196,7 +289,89 @@ def _run_node(
         window_rows=rows,
         metrics=obs.registry.snapshot() if obs_options.metrics else {},
         spans=obs.span_dicts() if obs_options.tracing else [],
+        chaos_counts=dict(session.injector.counts)
+        if session.injector is not None
+        else {},
+        resumes=resumes,
     )
+
+
+def _run_node_with_checkpoints(
+    spec: NodeSpec,
+    session: Session,
+    chaos: ChaosOptions,
+    window_payloads: list,
+    collect_window,
+    make_obs,
+    ring: int,
+) -> tuple[RunSummary, Session, int]:
+    """Window loop with periodic checkpoints and crash/resume.
+
+    A ``node_crash`` fault at window ``w`` throws away the live session
+    (modeling the node process dying) and rebuilds one from the last
+    checkpoint blob: fresh observability bundle, fresh event sink, same
+    deterministic simulation state.  The resumed session replays the
+    windows lost since the checkpoint and then survives the crash window
+    (``injector.survive_crash``), so the run always completes and its
+    outputs match an uninterrupted run's.
+    """
+    from repro.chaos.checkpoint import (
+        capture_session,
+        restore_session,
+        save_checkpoint,
+    )
+
+    ckpt_path = None
+    if chaos.checkpoint_dir is not None:
+        ckpt_dir = Path(chaos.checkpoint_dir)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        ckpt_path = ckpt_dir / f"node-{spec.node_id:03d}.ckpt"
+
+    def _checkpoint() -> bytes:
+        blob = capture_session(session, rows=window_payloads)
+        if ckpt_path is not None:
+            save_checkpoint(ckpt_path, blob)
+        return blob
+
+    windows = session.spec.windows
+    blob = _checkpoint()
+    resumes = 0
+    window = 0
+    while window < windows:
+        if session.injector.node_crash_at(window):
+            crash_window = window
+            session, rows, window = restore_session(
+                blob, obs=make_obs(), sink=StreamSink(ring=ring)
+            )
+            session.log.subscribe(collect_window)
+            window_payloads[:] = rows
+            session.injector.survive_crash(crash_window)
+            session.obs.registry.counter(
+                "repro_chaos_node_resumes_total",
+                "Node crash/resume cycles recovered from a checkpoint",
+            ).inc()
+            session.injector.note(
+                "recovery",
+                window,
+                kind="node_resumed",
+                crash_window=crash_window,
+                checkpoint_window=window,
+            )
+            resumes += 1
+            _log.info(
+                "node %d crashed at window %d; resumed from checkpoint "
+                "window %d",
+                spec.node_id,
+                crash_window,
+                window,
+            )
+            continue
+        session.run_window()
+        window += 1
+        if window % chaos.checkpoint_every == 0 and window < windows:
+            blob = _checkpoint()
+    # Zero extra windows: closes the log and aggregates the summary.
+    return session.run(0), session, resumes
 
 
 class FleetRunner:
@@ -215,6 +390,7 @@ class FleetRunner:
             into about two chunks per worker.
         obs: Per-worker observability switches (metrics on by default;
             tracing off because spans are bulky over IPC).
+        chaos: Fleet-level fault-injection switches; default: chaos off.
     """
 
     def __init__(
@@ -227,6 +403,7 @@ class FleetRunner:
         scheduler: FleetScheduler | None = None,
         chunksize: int | None = None,
         obs: ObsOptions | None = None,
+        chaos: ChaosOptions | None = None,
         **spec_kwargs,
     ) -> None:
         if jobs < 1:
@@ -243,6 +420,7 @@ class FleetRunner:
         self.scheduler = scheduler
         self.chunksize = chunksize
         self.obs = obs or ObsOptions()
+        self.chaos = chaos or ChaosOptions()
 
     def node_specs(self) -> list[NodeSpec]:
         """The expanded (and scheduler-adjusted) per-node specs."""
@@ -253,7 +431,10 @@ class FleetRunner:
 
     def run(self) -> FleetResult:
         """Simulate every node and merge results in node order."""
-        payloads = [(s, self.service, self.obs) for s in self.node_specs()]
+        payloads = [
+            (s, self.service, self.obs, self.chaos)
+            for s in self.node_specs()
+        ]
         jobs = min(self.jobs, len(payloads))
         _log.info(
             "simulating %d node(s) with %d job(s), policy=%s",

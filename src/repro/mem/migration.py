@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.mem.system import TieredMemorySystem
 from repro.obs import NULL_OBS, Observability
 
@@ -25,6 +27,10 @@ class MigrationStats:
         pages_moved: Pages that actually changed tier.
         serial_ns: Total single-threaded migration nanoseconds.
         waves: Migration waves executed (one per profile window).
+        rollbacks: Region moves that failed mid-wave and were rolled
+            back (chaos ``migration_partial`` faults).
+        moves_dropped: Recommended moves abandoned because their wave
+            failed before reaching them.
     """
 
     regions_moved: int = 0
@@ -32,6 +38,8 @@ class MigrationStats:
     serial_ns: float = 0.0
     waves: int = 0
     wave_ns: list[float] = field(default_factory=list)
+    rollbacks: int = 0
+    moves_dropped: int = 0
 
 
 class MigrationEngine:
@@ -46,6 +54,11 @@ class MigrationEngine:
             see :meth:`repro.mem.system.TieredMemorySystem.move_region`.
         obs: Observability bundle; each wave runs under a ``migrate``
             span and bumps the migration counters (disabled by default).
+        injector: Optional :class:`~repro.chaos.faults.FaultInjector`;
+            an active ``migration_partial`` fault makes the wave fail
+            partway: the failing region's move is rolled back (pages
+            return to their original tiers, capacity accounting intact)
+            and the remaining recommended moves are dropped.
     """
 
     def __init__(
@@ -54,6 +67,7 @@ class MigrationEngine:
         push_threads: int = 2,
         recency_windows: int = 1,
         obs: Observability | None = None,
+        injector=None,
     ) -> None:
         if push_threads < 1:
             raise ValueError("push_threads must be >= 1")
@@ -64,7 +78,16 @@ class MigrationEngine:
         self.recency_windows = recency_windows
         self.stats = MigrationStats()
         self.obs = obs if obs is not None else NULL_OBS
+        self.injector = injector
         registry = self.obs.registry
+        self._m_rollbacks = registry.counter(
+            "repro_chaos_migration_rollbacks_total",
+            "Region moves rolled back after a mid-wave failure",
+        )
+        self._m_dropped = registry.counter(
+            "repro_chaos_moves_dropped_total",
+            "Recommended moves abandoned when their wave failed",
+        )
         self._m_waves = registry.counter(
             "repro_migration_waves_total", "Migration waves executed"
         )
@@ -79,22 +102,62 @@ class MigrationEngine:
             "Virtual wall nanoseconds per migration wave",
         )
 
-    def apply(self, moves: dict[int, int]) -> float:
+    def apply(self, moves: dict[int, int], window: int | None = None) -> float:
         """Execute one wave of region moves.
 
         Args:
             moves: Mapping ``region_id -> destination tier index``.
+            window: Window index for fault scheduling; defaults to the
+                wave count (one wave per profile window).
 
         Returns:
             Wall-clock nanoseconds of the wave (serial cost divided by the
             push-thread count).
         """
+        if window is None:
+            window = self.stats.waves
+        items = sorted(moves.items())
+        fail_at = None
+        if self.injector is not None and items:
+            fraction = self.injector.migration_failure(window)
+            if fraction is not None:
+                # The wave fails at the first move inside the failing
+                # fraction (at least the last move always fails).
+                fail_at = min(
+                    len(items) - 1, int(len(items) * (1.0 - fraction))
+                )
         wave_ns = 0.0
         regions_before = self.stats.regions_moved
         pages_before = self.stats.pages_moved
         with self.obs.tracer.span("migrate", regions=len(moves)) as span:
-            for region_id, dst_idx in sorted(moves.items()):
+            for i, (region_id, dst_idx) in enumerate(items):
                 moved_before = self.system.migrated_pages
+                if fail_at is not None and i == fail_at:
+                    with self.obs.tracer.span(
+                        "fault_injected",
+                        kind="migration_partial",
+                        window=window,
+                        region=region_id,
+                    ):
+                        ns = self._rollback_move(region_id, dst_idx)
+                    self.stats.pages_moved += (
+                        self.system.migrated_pages - moved_before
+                    )
+                    wave_ns += ns
+                    dropped = len(items) - i - 1
+                    self.stats.rollbacks += 1
+                    self.stats.moves_dropped += dropped
+                    self._m_rollbacks.inc()
+                    if dropped:
+                        self._m_dropped.inc(dropped)
+                    self.injector.note(
+                        "fault",
+                        window,
+                        kind="migration_partial",
+                        region=region_id,
+                        dropped=dropped,
+                    )
+                    break
                 ns = self.system.move_region(
                     region_id, dst_idx, recency_windows=self.recency_windows
                 )
@@ -114,3 +177,30 @@ class MigrationEngine:
         self._m_pages.inc(self.stats.pages_moved - pages_before)
         self._m_wave_ns.observe(wall_ns)
         return wall_ns
+
+    def _rollback_move(self, region_id: int, dst_idx: int) -> float:
+        """Move a region forward, then roll it back to where it was.
+
+        Models a migration that fails after its copy work: the daemon
+        pays the forward *and* the undo cost, but the placement -- and
+        every tier's capacity accounting -- ends exactly where it
+        started.  Pages whose back-move destination refuses them (e.g. a
+        capacity shock landed between the copy and the undo) land in the
+        fastest byte tier via the normal redirect path; accounting stays
+        consistent either way.
+        """
+        system = self.system
+        region = system.space.regions[region_id]
+        pages = region.pages()
+        page_ids = np.arange(pages.start, pages.stop, dtype=np.int64)
+        before = system.page_location[page_ids].copy()
+        before_tier = region.assigned_tier
+        ns = system.move_region(
+            region_id, dst_idx, recency_windows=self.recency_windows
+        )
+        moved = system.page_location[page_ids] != before
+        for tier_idx in np.unique(before[moved]).tolist():
+            group = page_ids[moved & (before == tier_idx)]
+            ns += system._move_pages(group, int(tier_idx))
+        region.assigned_tier = before_tier
+        return ns

@@ -115,6 +115,10 @@ class TieredMemorySystem:
         ]
         #: Pages that actually changed tier via the migration path.
         self.migrated_pages = 0
+        #: Migration stores that failed after the source was read; the
+        #: page stays (is restored) at its source, uncharged at the
+        #: destination.
+        self.failed_stores = 0
         # Lazy per-(tier, page) memoization of the compression model.
         # Entries are filled by the *scalar* code path the first time a
         # page meets a tier, so the batched paths reuse bit-identical
@@ -386,7 +390,22 @@ class TieredMemorySystem:
             and isinstance(dst, CompressedTier)
             and src.algorithm.name == dst.algorithm.name
         ):
-            ns += self._move_compressed_object(page_id, src, dst, intrinsic)
+            try:
+                ns += self._move_compressed_object(page_id, src, dst, intrinsic)
+            except AllocationError:
+                # Same failure mode as the slow path below: the source
+                # object is already gone, so put the page back where it
+                # came from before reporting the move as a no-op.
+                restore_ns, final_idx = self._restore_source(
+                    page_id, src_idx, intrinsic
+                )
+                ns += restore_ns
+                self.failed_stores += 1
+                if final_idx != src_idx:
+                    self.page_location[page_id] = final_idx
+                    self.migrated_pages += 1
+                self.clock.migration_ns += ns
+                return ns
             self.page_location[page_id] = dst_idx
             self.migrated_pages += 1
             self.clock.migration_ns += ns
@@ -397,7 +416,24 @@ class TieredMemorySystem:
             src.remove_pages(1)
             ns += src.media.read_ns * _PAGE_CHUNKS
         if isinstance(dst, CompressedTier):
-            ns += dst.store_page(page_id, intrinsic)
+            try:
+                ns += dst.store_page(page_id, intrinsic)
+            except AllocationError:
+                # The store failed after the source was already read
+                # (capacity raced away mid-wave, e.g. a shock).  Undo the
+                # source removal so the page is never charged to a tier
+                # that does not hold it; the wasted copy work still
+                # counts as daemon time.
+                restore_ns, final_idx = self._restore_source(
+                    page_id, src_idx, intrinsic
+                )
+                ns += restore_ns
+                self.failed_stores += 1
+                if final_idx != src_idx:
+                    self.page_location[page_id] = final_idx
+                    self.migrated_pages += 1
+                self.clock.migration_ns += ns
+                return ns
         else:
             dst.add_pages(1)
             ns += dst.media.write_ns * _PAGE_CHUNKS
@@ -405,6 +441,32 @@ class TieredMemorySystem:
         self.migrated_pages += 1
         self.clock.migration_ns += ns
         return ns
+
+    def _restore_source(
+        self, page_id: int, src_idx: int, intrinsic: float
+    ) -> tuple[float, int]:
+        """Put a page back where a failed migration took it from.
+
+        Returns ``(nanoseconds, tier index)`` of where the page actually
+        landed: normally the source itself (recompress-and-store for a
+        compressed source, a page write-back for a byte source).  A
+        compressed source that meanwhile lost the capacity to re-admit
+        the page (its pool page was reclaimed under a shock) falls back
+        to the fastest byte tier -- the kernel's own fallback for an
+        unstorable page -- which by the system invariant always has
+        room.
+        """
+        src = self.tiers[src_idx]
+        if isinstance(src, CompressedTier):
+            try:
+                return src.store_page(page_id, intrinsic), src_idx
+            except AllocationError:
+                promo_idx = self._promotion_target()
+                target = self.tiers[promo_idx]
+                target.add_pages(1)
+                return target.media.write_ns * _PAGE_CHUNKS, promo_idx
+        src.add_pages(1)
+        return src.media.write_ns * _PAGE_CHUNKS, src_idx
 
     def _move_compressed_object(
         self, page_id: int, src: CompressedTier, dst: CompressedTier, intrinsic: float

@@ -15,8 +15,25 @@ result into a Prometheus textfile or a ``chrome://tracing`` trace::
 
 Metric naming scheme (see DESIGN.md §9): ``repro_<noun>_<unit|total>``
 with labels for low-cardinality dimensions (``backend``, ``tier``).
-Wall-clock-derived metrics are ``volatile``; deterministic consumers
-strip them with ``registry.snapshot(include_volatile=False)``.
+
+Invariants the package maintains (tests in ``tests/test_obs*.py`` pin
+them):
+
+* **Determinism modulo volatility** -- every metric derived from the
+  simulation's virtual time or counts is a pure function of the
+  scenario; only wall-clock-derived metrics vary run to run, and those
+  are declared ``volatile`` so deterministic consumers can strip them
+  with ``registry.snapshot(include_volatile=False)``.
+* **Order-independent merging** -- ``merge_snapshot`` is commutative
+  and associative over counter/histogram values, but consumers (the
+  fleet, checkpoint restore) still fold snapshots in node-id /
+  capture order so label-creation order, and therefore export byte
+  output, is reproducible too.
+* **Instrumentation is never load-bearing** -- the disabled
+  :data:`NULL_OBS` path executes the same simulation code; turning
+  metrics or tracing on or off never changes a summary, a record or an
+  event.  Checkpoints therefore carry metric *snapshots*, never live
+  registries (see :mod:`repro.chaos.checkpoint`).
 """
 
 from __future__ import annotations

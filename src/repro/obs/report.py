@@ -6,8 +6,8 @@ engine (``repro run --out``), the streaming sink, and the fleet
 plus run totals.  Both stream shapes are accepted:
 
 * engine event rows -- ``{"event": "window_end", "window": 3, ...}``
-  (all four event kinds; only ``window_end``/``fault_burst`` contribute
-  to the summary),
+  (every event kind; ``window_end``/``fault_burst`` drive the summary
+  and chaos ``fault``/``recovery`` events drive the recovery totals),
 * fleet window rows -- flat per-window metric rows tagged with ``node``
   (every row is a window record).
 """
@@ -67,7 +67,12 @@ def window_summary(rows: list[dict]) -> list[dict]:
 
 
 def run_totals(rows: list[dict]) -> dict:
-    """Whole-stream rollup: window count, fault totals, burst count."""
+    """Whole-stream rollup: window count, fault totals, burst count.
+
+    Chaos runs additionally report recovery accounting: injected-fault
+    and recovery event counts (``faults_injected`` / ``recoveries``) and
+    a by-kind breakdown of the injected faults.
+    """
     window_rows = _window_end_rows(rows)
     bursts = [row for row in rows if row.get("event") == "fault_burst"]
     totals: dict = {
@@ -77,6 +82,16 @@ def run_totals(rows: list[dict]) -> dict:
         else 0,
         "fault_bursts": len(bursts),
     }
+    injected = [row for row in rows if row.get("event") == "fault"]
+    recoveries = [row for row in rows if row.get("event") == "recovery"]
+    if injected or recoveries:
+        totals["faults_injected"] = len(injected)
+        totals["recoveries"] = len(recoveries)
+        by_kind: dict[str, int] = {}
+        for row in injected:
+            kind = str(row.get("kind", "unknown"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        totals["faults_by_kind"] = dict(sorted(by_kind.items()))
     nodes = {row["node"] for row in window_rows if "node" in row}
     if nodes:
         totals["nodes"] = len(nodes)

@@ -51,9 +51,21 @@ def solve(
     :class:`~repro.obs.Observability` bundle is given, each solve records
     its measured wall time into the ``repro_solve_wall_ns`` histogram and
     bumps ``repro_solves_total``, both labeled with the concrete backend.
+    A backend that raises is counted into ``repro_solver_errors_total``
+    and the exception propagates unchanged -- the resilience layer
+    (:class:`~repro.chaos.policies.ResilientModel`), not the registry,
+    decides whether to retry or degrade.
     """
     name = resolve_backend(problem, backend)
-    solution = SOLVERS[name](problem)
+    try:
+        solution = SOLVERS[name](problem)
+    except Exception:
+        if obs is not None and obs.registry.enabled:
+            obs.registry.counter(
+                "repro_solver_errors_total",
+                "Solver backends that raised, by backend",
+            ).inc(backend=name)
+        raise
     if obs is not None and obs.registry.enabled:
         registry = obs.registry
         registry.counter(

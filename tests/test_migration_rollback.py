@@ -1,0 +1,238 @@
+"""Regression tests: migration failures never corrupt capacity accounting.
+
+Covers the mid-wave store-failure bugfix in
+:meth:`repro.mem.system.TieredMemorySystem.move_page` (a page whose
+destination store fails must not be charged to the destination tier) and
+the chaos ``migration_partial`` wave rollback in
+:class:`repro.mem.migration.MigrationEngine`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocators import AllocationError
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec, check_capacity
+from repro.mem.address_space import AddressSpace
+from repro.mem.migration import MigrationEngine
+from repro.mem.page import PAGES_PER_REGION
+from repro.mem.system import TieredMemorySystem
+from repro.mem.tier import CompressedTier
+
+from tests.conftest import make_tiers
+
+
+def fresh_system(num_regions=4, seed=7, **kwargs):
+    space = AddressSpace(num_regions * PAGES_PER_REGION, "mixed", seed=seed)
+    return TieredMemorySystem(make_tiers(space), space, **kwargs)
+
+
+class TestStoreFailureRestore:
+    def test_failed_store_leaves_page_at_source(self, monkeypatch):
+        system = fresh_system()
+        clock_before = system.clock.migration_ns
+
+        def refuse(self, page_id, intrinsic):
+            raise AllocationError("full")
+
+        monkeypatch.setattr(CompressedTier, "store_page", refuse)
+        ns = system.move_page(0, system.tier_index("CT"))
+        # The wasted copy work is charged, but the page never moved and
+        # no tier's books changed.
+        assert ns > 0
+        assert system.clock.migration_ns > clock_before
+        assert system.failed_stores == 1
+        assert system.page_location[0] == 0
+        assert system.migrated_pages == 0
+        assert system.tiers[0].used_pages == system.space.num_pages
+        ct = system.tiers[system.tier_index("CT")]
+        assert ct.resident_pages == 0
+        check_capacity(system)
+
+    def test_failed_store_from_compressed_source_restores(self, monkeypatch):
+        """Slow compressed->compressed path: the source re-admits the page."""
+        from repro.bench.configs import make_compressed_tier
+        from repro.mem.media import DRAM, NVMM
+        from repro.mem.tier import ByteAddressableTier
+
+        space = AddressSpace(2 * PAGES_PER_REGION, "mixed", seed=3)
+        n = space.num_pages
+        tiers = [
+            ByteAddressableTier("DRAM", DRAM, capacity_pages=n),
+            make_compressed_tier("CT-A", "lzo", "zsmalloc", DRAM, n),
+            make_compressed_tier("CT-B", "zstd", "zsmalloc", NVMM, n),
+        ]
+        system = TieredMemorySystem(tiers, space)
+        src_idx = system.tier_index("CT-A")
+        system.move_page(0, src_idx)
+        original = CompressedTier.store_page
+        target = system.tiers[system.tier_index("CT-B")]
+
+        def refuse_b(self, page_id, intrinsic):
+            if self is target:
+                raise AllocationError("full")
+            return original(self, page_id, intrinsic)
+
+        monkeypatch.setattr(CompressedTier, "store_page", refuse_b)
+        system.move_page(0, system.tier_index("CT-B"))
+        assert system.failed_stores == 1
+        assert system.page_location[0] == src_idx
+        assert target.resident_pages == 0
+        assert system.tiers[src_idx].resident_pages == 1
+        check_capacity(system)
+
+    def test_fast_path_store_failure_restores(self, monkeypatch):
+        """§7.1 same-algo fast path: failed store rolls back too."""
+        from repro.bench.configs import make_compressed_tier
+        from repro.mem.media import DRAM, NVMM
+        from repro.mem.tier import ByteAddressableTier
+
+        space = AddressSpace(2 * PAGES_PER_REGION, "mixed", seed=3)
+        n = space.num_pages
+        tiers = [
+            ByteAddressableTier("DRAM", DRAM, capacity_pages=n),
+            make_compressed_tier("CT-A", "lzo", "zsmalloc", DRAM, n),
+            make_compressed_tier("CT-B", "lzo", "zsmalloc", NVMM, n),
+        ]
+        system = TieredMemorySystem(
+            tiers, space, fast_same_algo_migration=True
+        )
+        src_idx = system.tier_index("CT-A")
+        system.move_page(0, src_idx)
+        original = CompressedTier.store_page
+        target = system.tiers[system.tier_index("CT-B")]
+
+        def refuse_b(self, page_id, intrinsic):
+            if self is target:
+                raise AllocationError("full")
+            return original(self, page_id, intrinsic)
+
+        monkeypatch.setattr(CompressedTier, "store_page", refuse_b)
+        system.move_page(0, system.tier_index("CT-B"))
+        assert system.failed_stores == 1
+        assert system.page_location[0] == src_idx
+        assert target.resident_pages == 0
+        check_capacity(system)
+
+    def test_restore_falls_back_to_dram_when_source_is_full(
+        self, monkeypatch
+    ):
+        """A shocked source that cannot re-admit the page promotes it."""
+        system = fresh_system()
+        ct_idx = system.tier_index("CT")
+        system.move_page(0, ct_idx)
+        original = CompressedTier.store_page
+
+        def always_refuse(self, page_id, intrinsic):
+            raise AllocationError("full")
+
+        # Mimic the mid-move state a failed store leaves behind: the
+        # source object is already gone, and the source refuses to take
+        # the page back (its pool was reclaimed under a shock).
+        system.tiers[ct_idx].remove_page(0)
+        monkeypatch.setattr(CompressedTier, "store_page", always_refuse)
+        ns, final_idx = system._restore_source(
+            0, ct_idx, float(system.space.compressibility[0])
+        )
+        monkeypatch.setattr(CompressedTier, "store_page", original)
+        assert ns > 0
+        assert final_idx == 0  # the fastest byte tier
+        # Caller is responsible for page_location; mirror what it does.
+        system.page_location[0] = final_idx
+        check_capacity(system)
+
+
+class TestWaveRollback:
+    def _recommendation(self, system):
+        """Demote every region to the compressed tier."""
+        ct = system.tier_index("CT")
+        return {r.region_id: ct for r in system.space.regions}
+
+    def test_partial_wave_rolls_back_and_drops(self):
+        plan = FaultPlan(
+            events=(
+                FaultSpec(kind="migration_partial", window=0, magnitude=0.5),
+            )
+        )
+        system = fresh_system()
+        engine = MigrationEngine(system, injector=FaultInjector(plan))
+        moves = self._recommendation(system)
+        engine.apply(dict(moves))
+        # magnitude 0.5 over 4 moves: the first two land, the third is
+        # rolled back, the fourth never runs.
+        assert engine.stats.rollbacks == 1
+        assert engine.stats.moves_dropped == 1
+        assert engine.stats.regions_moved == 2
+        ct = system.tier_index("CT")
+        locations = [
+            int(system.page_location[r.pages().start])
+            for r in system.space.regions
+        ]
+        assert locations[3] != ct  # the dropped move never ran
+        check_capacity(system)
+
+    def test_full_wave_failure_changes_nothing(self):
+        plan = FaultPlan(
+            events=(
+                FaultSpec(kind="migration_partial", window=0, magnitude=1.0),
+            )
+        )
+        system = fresh_system()
+        before = system.page_location.copy()
+        engine = MigrationEngine(system, injector=FaultInjector(plan))
+        wall_ns = engine.apply(self._recommendation(system))
+        # The wave failed on its very first move: placement is untouched
+        # but the daemon still paid for the copy work and its undo.
+        assert engine.stats.rollbacks == 1
+        assert np.array_equal(system.page_location, before)
+        assert wall_ns > 0
+        assert engine.stats.moves_dropped == len(system.space.regions) - 1
+        check_capacity(system)
+
+    def test_rollback_restores_region_assignment(self):
+        plan = FaultPlan(
+            events=(
+                FaultSpec(kind="migration_partial", window=0, magnitude=1.0),
+            )
+        )
+        system = fresh_system()
+        assigned_before = [r.assigned_tier for r in system.space.regions]
+        engine = MigrationEngine(system, injector=FaultInjector(plan))
+        engine.apply(self._recommendation(system))
+        assert [
+            r.assigned_tier for r in system.space.regions
+        ] == assigned_before
+
+    def test_clean_wave_unaffected_by_injector(self):
+        plan = FaultPlan(
+            events=(
+                FaultSpec(kind="migration_partial", window=5, magnitude=1.0),
+            )
+        )
+        with_injector = fresh_system()
+        without = fresh_system()
+        moves = self._recommendation(with_injector)
+        MigrationEngine(
+            with_injector, injector=FaultInjector(plan)
+        ).apply(dict(moves))
+        MigrationEngine(without).apply(dict(moves))
+        assert np.array_equal(
+            with_injector.page_location, without.page_location
+        )
+
+    def test_fault_note_emitted(self):
+        plan = FaultPlan(
+            events=(
+                FaultSpec(kind="migration_partial", window=0, magnitude=1.0),
+            )
+        )
+        injector = FaultInjector(plan)
+        system = fresh_system()
+        MigrationEngine(system, injector=injector).apply(
+            self._recommendation(system)
+        )
+        notes = injector.drain()
+        assert len(notes) == 1
+        event, window, data = notes[0]
+        assert event == "fault" and window == 0
+        assert data["kind"] == "migration_partial"
+        assert injector.counts["migration_partial"] == 1
