@@ -19,7 +19,7 @@ lets checkpoints carry it across a simulated node crash.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -58,15 +58,28 @@ class FaultSpec:
             (``None`` picks the first compressed tier).
         node: Restrict the fault to one fleet node id (``None`` = every
             node; single-node sessions match any value via node=None).
+        at_s: Wall-clock (or virtual-clock) second the fault fires at
+            instead of a window index.  Wall-clock faults are for the
+            live serving loop (:mod:`repro.serve`): window boundaries
+            there move with traffic, so an operator schedules "capacity
+            shock at t=30s for 10s" and the serving daemon *binds* the
+            fault to whichever windows overlap that interval (see
+            :meth:`FaultInjector.bind_wall_clock`).  ``window`` and
+            ``duration`` are ignored for such events; batch sessions,
+            which have no clock, never activate them.
+        for_s: Seconds a wall-clock fault stays active (``None`` = the
+            single window containing ``at_s``).
     """
 
     kind: str
-    window: int
+    window: int | None = None
     duration: int = 1
     magnitude: float = 1.0
     attempts: int | None = None
     tier: str | None = None
     node: int | None = None
+    at_s: float | None = None
+    for_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -74,12 +87,29 @@ class FaultSpec:
                 f"unknown fault kind {self.kind!r}; "
                 f"available: {', '.join(FAULT_KINDS)}"
             )
-        if self.window < 0:
+        if self.window is None and self.at_s is None:
+            raise ValueError(
+                f"fault {self.kind!r} needs a schedule: a 'window' index "
+                "or a wall-clock 'at_s' second"
+            )
+        if self.window is not None and self.at_s is not None:
+            raise ValueError(
+                f"fault {self.kind!r} has both 'window' and 'at_s'; "
+                "pick one schedule"
+            )
+        if self.window is not None and self.window < 0:
             raise ValueError(f"fault window must be >= 0, got {self.window}")
         if self.duration < 1:
             raise ValueError(
                 f"fault duration must be >= 1, got {self.duration}"
             )
+        if self.at_s is not None and self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        if self.for_s is not None:
+            if self.at_s is None:
+                raise ValueError("for_s needs at_s (a wall-clock schedule)")
+            if self.for_s <= 0:
+                raise ValueError(f"for_s must be > 0, got {self.for_s}")
         if not 0.0 < self.magnitude <= 1.0:
             raise ValueError(
                 f"fault magnitude must be in (0, 1], got {self.magnitude}"
@@ -87,8 +117,19 @@ class FaultSpec:
         if self.attempts is not None and self.attempts < 1:
             raise ValueError("attempts must be >= 1 when given")
 
+    @property
+    def is_wall_clock(self) -> bool:
+        """Scheduled by clock time, not window index."""
+        return self.at_s is not None
+
     def covers(self, window: int) -> bool:
-        """Whether the fault is active in ``window``."""
+        """Whether the fault is active in ``window``.
+
+        Wall-clock events cover nothing until the serving loop binds
+        them to concrete windows.
+        """
+        if self.window is None:
+            return False
         return self.window <= window < self.window + self.duration
 
     def to_dict(self) -> dict:
@@ -200,11 +241,22 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan, node: int | None = None) -> None:
         self.plan = plan
         self.node = node
-        self.events: tuple[FaultSpec, ...] = tuple(
+        mine = tuple(
             e
             for e in plan.events
             if node is None or e.node is None or e.node == node
         )
+        self.events: tuple[FaultSpec, ...] = tuple(
+            e for e in mine if not e.is_wall_clock
+        )
+        #: Wall-clock-scheduled events: inert until the serving loop
+        #: binds them to concrete windows (see :meth:`bind_wall_clock`).
+        self.wall_events: tuple[FaultSpec, ...] = tuple(
+            e for e in mine if e.is_wall_clock
+        )
+        # (wall-event index, window) pairs already bound, so replayed
+        # windows (checkpoint resume) never double-bind.
+        self._wall_bound: set[tuple[int, int]] = set()
         seed = plan.seed if node is None else child_seed(plan.seed, node + 1)
         self._rng = np.random.default_rng(seed)
         #: Fault/recovery occurrence counts by kind (CLI recovery table).
@@ -269,6 +321,49 @@ class FaultInjector:
     def has_crashes(self) -> bool:
         return any(e.kind == "node_crash" for e in self.events)
 
+    # -- wall-clock binding (the live serving loop) --------------------------
+
+    def bind_wall_clock(
+        self, window: int, start_s: float, end_s: float
+    ) -> list[FaultSpec]:
+        """Materialize wall-clock events overlapping one live window.
+
+        The serving loop calls this before running window ``window``,
+        whose ingest interval was ``[start_s, end_s)`` on the serving
+        clock (wall or virtual).  Every wall-clock event active in that
+        interval is bound as a one-window :class:`FaultSpec` at
+        ``window``, after which the normal window-indexed queries
+        (:meth:`active`, :meth:`solver_fault`, capacity shocks in
+        :meth:`begin_window`) see it like any scheduled fault.  Binding
+        is idempotent per ``(event, window)`` pair and the bound events
+        ride in ``self.events``, so checkpoints carry them and resumed
+        replays stay bit-identical.
+
+        Returns:
+            The events newly bound to ``window``.
+        """
+        if end_s < start_s:
+            raise ValueError("end_s must be >= start_s")
+        bound: list[FaultSpec] = []
+        for index, event in enumerate(self.wall_events):
+            if event.for_s is None:
+                active = start_s <= event.at_s < end_s
+            else:
+                active = (
+                    event.at_s < end_s and event.at_s + event.for_s > start_s
+                )
+            if not active or (index, window) in self._wall_bound:
+                continue
+            self._wall_bound.add((index, window))
+            bound.append(
+                replace(
+                    event, window=window, duration=1, at_s=None, for_s=None
+                )
+            )
+        if bound:
+            self.events = self.events + tuple(bound)
+        return bound
+
     # -- randomness ----------------------------------------------------------
 
     def uniform(self) -> float:
@@ -294,8 +389,10 @@ class FaultInjector:
         Resolves every ``capacity_shock`` target against ``system`` so an
         unknown or byte-addressable tier name is rejected at session
         construction (exit 2 from the CLI) instead of windows later.
+        Wall-clock events are validated too: they bind lazily, which
+        must never be the first time their target is resolved.
         """
-        for event in self.events:
+        for event in self.events + self.wall_events:
             if event.kind == "capacity_shock":
                 self._shock_tier_index(event, system)
 

@@ -135,6 +135,14 @@ def cmd_list(_args) -> int:
             ),
         }
     )
+    rows.append(
+        {
+            "experiment": "serve",
+            "description": (
+                "Live streaming-ingestion daemon (subcommand: repro serve)"
+            ),
+        }
+    )
     print(format_table(rows, title="Available experiments"))
     return 0
 
@@ -436,6 +444,101 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.engine import ScenarioSpec
+    from repro.serve import ServeDaemon, ServeOptions, StreamSpec, WindowRule
+
+    if not args.resume and not args.scenario:
+        print("serve needs a scenario file (or --resume CHECKPOINT)",
+              file=sys.stderr)
+        return 2
+    try:
+        stream = StreamSpec.parse(args.stream)
+    except ValueError as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"invalid stream spec {args.stream!r}: {message}", file=sys.stderr)
+        return 2
+    try:
+        window = WindowRule.parse(args.window)
+    except ValueError as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"invalid window rule {args.window!r}: {message}", file=sys.stderr)
+        return 2
+    host, _, port = args.http.rpartition(":")
+    try:
+        port_num = int(port)
+    except ValueError:
+        print(f"invalid --http address {args.http!r}: need HOST:PORT",
+              file=sys.stderr)
+        return 2
+
+    def _on_ready(addresses: dict) -> None:
+        http_addr = addresses.get("http")
+        if http_addr:
+            print(f"serving http on {http_addr[0]}:{http_addr[1]}", flush=True)
+        stream_addr = addresses.get("stream")
+        if stream_addr is not None:
+            if isinstance(stream_addr, tuple):
+                stream_addr = f"{stream_addr[0]}:{stream_addr[1]}"
+            print(f"stream listening on {stream_addr}", flush=True)
+
+    options = ServeOptions(
+        stream=stream,
+        window=window,
+        rate=args.rate,
+        virtual_clock=args.virtual_clock,
+        max_windows=args.max_windows,
+        http=not args.no_http,
+        http_host=host or "127.0.0.1",
+        http_port=port_num,
+        checkpoint=args.checkpoint,
+        metrics_out=args.metrics,
+        on_ready=_on_ready,
+    )
+    try:
+        if args.resume:
+            daemon = ServeDaemon.from_checkpoint(args.resume, options)
+        else:
+            try:
+                spec = ScenarioSpec.load(args.scenario)
+            except FileNotFoundError:
+                print(f"scenario file not found: {args.scenario}",
+                      file=sys.stderr)
+                return 2
+            except (ValueError, KeyError) as exc:
+                message = exc.args[0] if exc.args else exc
+                print(f"invalid scenario {args.scenario!r}: {message}",
+                      file=sys.stderr)
+                return 2
+            daemon = ServeDaemon(spec, options)
+    except FileNotFoundError as exc:
+        print(f"checkpoint not found: {exc.filename or args.resume}",
+              file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"cannot build serving session: {message}", file=sys.stderr)
+        return 2
+    report = asyncio.run(daemon.run())
+    print(
+        f"drained ({report.reason}): {report.windows} window(s), "
+        f"{daemon.events_ingested} event(s) ingested, "
+        f"{report.flushed_events} flushed at drain"
+    )
+    summary = daemon.session.summary()
+    print(format_table([summary.row()], title=daemon.session.spec.label))
+    _print_chaos_summary(daemon.session)
+    if daemon.rejected_events:
+        print(f"rejected {daemon.rejected_events} out-of-range event(s)")
+    if report.checkpoint:
+        print(f"drain checkpoint written to {report.checkpoint}")
+    if report.metrics_path:
+        print(f"metrics written to {report.metrics_path}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.obs.report import load_rows, run_totals, window_summary
 
@@ -655,6 +758,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="also persist each node's latest checkpoint in this directory",
     )
     fleet.set_defaults(func=cmd_fleet)
+
+    serve = sub.add_parser(
+        "serve", help="serve a scenario live from a streaming event source"
+    )
+    serve.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario .json/.toml file (omit with --resume)",
+    )
+    serve.add_argument(
+        "--stream",
+        default="generator",
+        help="event source: generator | replay:PATH | tcp:HOST:PORT | "
+        "unix:PATH",
+    )
+    serve.add_argument(
+        "--window",
+        default="source",
+        help="window-closing rule: source | events:N | seconds:S",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="replay pacing in events/second (replay streams; default "
+        "unpaced)",
+    )
+    serve.add_argument(
+        "--virtual-clock",
+        action="store_true",
+        help="deterministic virtual time: paced sleeps return instantly",
+    )
+    serve.add_argument(
+        "--max-windows",
+        type=int,
+        default=None,
+        help="drain after this many windows (default: until the source "
+        "ends or SIGTERM)",
+    )
+    serve.add_argument(
+        "--http",
+        default="127.0.0.1:0",
+        help="bind /metrics + /healthz + /status here (port 0 = ephemeral; "
+        "the bound port is printed on startup)",
+    )
+    serve.add_argument(
+        "--no-http", action="store_true", help="disable the HTTP endpoint"
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write the drain checkpoint here on shutdown",
+    )
+    serve.add_argument(
+        "--resume",
+        default=None,
+        help="resume from a drain checkpoint instead of a fresh scenario",
+    )
+    serve.add_argument(
+        "--metrics",
+        default=None,
+        help="write a Prometheus textfile at drain",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     report = sub.add_parser(
         "report", help="summarize an exported event stream (.jsonl/.json)"

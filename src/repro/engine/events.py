@@ -14,7 +14,11 @@ window loop:
   and its context -- see :mod:`repro.chaos`),
 * ``recovery``     -- the resilience machinery recovered something (a
   degradation level stepped back up, a capacity shock expired, a node
-  resumed from its checkpoint).
+  resumed from its checkpoint),
+* ``drain``        -- a live serving loop (:mod:`repro.serve`) stopped
+  ingesting and flushed its final partial window,
+* ``checkpoint``   -- a session checkpoint was captured (the serving
+  loop's drain-and-checkpoint shutdown path).
 
 Events are plain data (kind, window, flat payload), so exporting them is
 just :func:`repro.bench.export.export` on the flattened rows -- there is
@@ -48,6 +52,8 @@ EVENT_KINDS = (
     "fault_burst",
     "fault",
     "recovery",
+    "drain",
+    "checkpoint",
 )
 
 #: An event consumer: called synchronously as each event is emitted.

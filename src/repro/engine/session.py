@@ -181,15 +181,31 @@ class Session:
 
     # -- the window loop -----------------------------------------------------
 
-    def run_window(self) -> WindowRecord:
-        """Run one profile window of the scenario's workload."""
+    def run_window(
+        self, page_ids=None, write_fraction: float | None = None
+    ) -> WindowRecord:
+        """Run one profile window of the scenario's workload.
+
+        Args:
+            page_ids: Prebuilt access batch for this window.  The batch
+                loop leaves this ``None`` and pulls the next window from
+                the workload generator; the live serving loop
+                (:mod:`repro.serve`) passes the page ids it accumulated
+                from the event stream instead, so online windows run
+                through exactly this code path.
+            write_fraction: Store fraction for an injected batch;
+                defaults to the workload's.
+        """
         window = len(self.daemon.records)
         with self.obs.tracer.span("window", window=window):
             self.log.emit("window_start", window)
-            page_ids = self.workload.next_window()
+            if page_ids is None:
+                page_ids = self.workload.next_window()
+            if write_fraction is None:
+                write_fraction = self.workload.write_fraction
             moved_before = self.daemon.engine.stats.pages_moved
             record = self.daemon.run_window(
-                page_ids, write_fraction=self.workload.write_fraction
+                page_ids, write_fraction=write_fraction
             )
         if self.injector is not None:
             for kind, note_window, data in self.injector.drain():
@@ -228,15 +244,20 @@ class Session:
         if len(history) > FAULT_BURST_WINDOW:
             del history[: len(history) - FAULT_BURST_WINDOW]
 
-    def run(self, windows: int | None = None) -> RunSummary:
-        """Drive the loop for ``windows`` (default: the spec's count)."""
+    def validate_capacity(self) -> None:
+        """Reject workloads larger than the system's address space."""
         if self.workload.num_pages > self.system.space.num_pages:
             raise ValueError(
                 f"workload touches {self.workload.num_pages} pages but the "
                 f"address space has {self.system.space.num_pages}"
             )
-        for _ in range(self.spec.windows if windows is None else windows):
-            self.run_window()
+
+    def finish(self) -> None:
+        """Close the event log and surface isolated hook failures.
+
+        Shared by :meth:`run` and the live serving drain path, which
+        both end a session's window loop.
+        """
         if self.log.hook_error_count:
             _log.warning(
                 "%d event hook failure(s) were isolated during the run; "
@@ -245,6 +266,13 @@ class Session:
                 self.log.hook_errors[0] if self.log.hook_errors else "?",
             )
         self.log.close()
+
+    def run(self, windows: int | None = None) -> RunSummary:
+        """Drive the loop for ``windows`` (default: the spec's count)."""
+        self.validate_capacity()
+        for _ in range(self.spec.windows if windows is None else windows):
+            self.run_window()
+        self.finish()
         return self.summary()
 
     def summary(self) -> RunSummary:

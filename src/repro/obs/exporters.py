@@ -50,10 +50,22 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def to_prometheus(registry: MetricsRegistry) -> str:
-    """Render every metric in the Prometheus text exposition format."""
+def to_prometheus(
+    registry: MetricsRegistry, include_volatile: bool = True
+) -> str:
+    """Render every metric in the Prometheus text exposition format.
+
+    Args:
+        registry: The registry to render.
+        include_volatile: When False, wall-clock-derived (``volatile``)
+            metrics are skipped, leaving only the deterministic subset
+            -- what the serve-mode equivalence tests compare between a
+            live scrape and a batch run's textfile export.
+    """
     lines: list[str] = []
     for metric in registry.collect():
+        if metric.volatile and not include_volatile:
+            continue
         if isinstance(metric, (Counter, Gauge)):
             kind = "counter" if isinstance(metric, Counter) else "gauge"
             if metric.help:
@@ -87,10 +99,12 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
-def write_prometheus(registry: MetricsRegistry, path) -> Path:
+def write_prometheus(
+    registry: MetricsRegistry, path, include_volatile: bool = True
+) -> Path:
     """Write the registry as a Prometheus textfile; returns the path."""
     path = Path(path)
-    path.write_text(to_prometheus(registry))
+    path.write_text(to_prometheus(registry, include_volatile=include_volatile))
     return path
 
 

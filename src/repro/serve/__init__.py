@@ -1,0 +1,64 @@
+"""repro.serve -- live streaming-ingestion serving mode.
+
+Everything below :mod:`repro.engine` is batch: build a spec, run N
+windows, exit.  This package turns the same session into a long-running
+daemon (``python -m repro serve scenario.json``): access events stream
+in from a pluggable source, profile windows close on source boundaries,
+event counts or clock seconds, and each closed window runs through the
+*identical* ``Session.run_window`` path -- placement, migrations,
+metrics and spans all happen live.  See docs/SERVING.md for the
+operator-facing story and DESIGN.md §11 for the architecture.
+
+The pieces:
+
+* :mod:`~repro.serve.clock` -- wall vs virtual time (deterministic CI).
+* :mod:`~repro.serve.stream` -- sources: in-process generator, paced
+  trace replay, TCP/unix socket (NDJSON).
+* :mod:`~repro.serve.windowing` -- window-closing rules and the
+  accumulator.
+* :mod:`~repro.serve.http` -- ``/metrics`` + ``/healthz`` + ``/status``.
+* :mod:`~repro.serve.daemon` -- :class:`ServeDaemon`: the ingest loop,
+  wall-clock chaos binding, and drain-and-checkpoint shutdown.
+"""
+
+from __future__ import annotations
+
+from repro.serve.clock import VirtualClock, WallClock
+from repro.serve.daemon import DrainReport, ServeDaemon, ServeOptions, serve
+from repro.serve.http import MetricsServer
+from repro.serve.stream import (
+    Chunk,
+    GeneratorSource,
+    QueueSource,
+    ReplaySource,
+    SocketSource,
+    STREAM_KINDS,
+    StreamSpec,
+)
+from repro.serve.windowing import (
+    PendingWindow,
+    WINDOW_RULES,
+    WindowAccumulator,
+    WindowRule,
+)
+
+__all__ = [
+    "Chunk",
+    "DrainReport",
+    "GeneratorSource",
+    "MetricsServer",
+    "PendingWindow",
+    "QueueSource",
+    "ReplaySource",
+    "STREAM_KINDS",
+    "ServeDaemon",
+    "ServeOptions",
+    "SocketSource",
+    "StreamSpec",
+    "VirtualClock",
+    "WINDOW_RULES",
+    "WallClock",
+    "WindowAccumulator",
+    "WindowRule",
+    "serve",
+]

@@ -1,0 +1,74 @@
+"""Wall and virtual clocks for the live serving loop.
+
+Everything time-shaped in :mod:`repro.serve` -- replay pacing,
+``seconds:`` window closing, wall-clock fault schedules -- goes through
+one small clock interface so the whole daemon can run in two modes:
+
+* :class:`WallClock` -- real time; ``sleep`` is ``asyncio.sleep``.
+  What production-shaped runs and the RUNBOOK chaos drills use.
+* :class:`VirtualClock` -- deterministic time that advances *only* when
+  someone sleeps on it (or calls :meth:`~VirtualClock.advance`).  A
+  replay paced at ``rate`` events/second takes zero real seconds but
+  still closes the same windows and fires the same wall-clock faults,
+  which is how the CI equivalence tests run "timed" scenarios without a
+  single real sleep.
+
+Times are seconds since the clock's start (monotonic, starts at 0.0).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+
+class WallClock:
+    """Real time, relative to construction."""
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    @property
+    def virtual(self) -> bool:
+        """Whether sleeps are simulated (False: they really block)."""
+        return False
+
+    def now(self) -> float:
+        """Seconds elapsed since the clock started."""
+        return time.monotonic() - self._start
+
+    async def sleep(self, seconds: float) -> None:
+        """Block the coroutine for ``seconds`` real seconds."""
+        if seconds > 0:
+            await asyncio.sleep(seconds)
+
+
+class VirtualClock:
+    """Deterministic time: advances only via sleeps.
+
+    ``sleep`` yields control once (``asyncio.sleep(0)``) so other
+    coroutines -- the HTTP server, a draining source -- still get
+    scheduled, but no real time passes.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def virtual(self) -> bool:
+        return True
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without yielding."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += seconds
+
+    async def sleep(self, seconds: float) -> None:
+        """Advance virtual time and yield to the event loop once."""
+        if seconds > 0:
+            self._now += seconds
+        await asyncio.sleep(0)

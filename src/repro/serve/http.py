@@ -1,0 +1,132 @@
+"""Minimal HTTP endpoint for the serving daemon.
+
+Three read-only routes, enough for a Prometheus scraper and an
+operator's ``curl``, served straight over asyncio streams (no web
+framework in the dependency budget):
+
+* ``GET /metrics`` -- the existing Prometheus text exposition
+  (:func:`repro.obs.exporters.to_prometheus` of the live registry).
+* ``GET /healthz`` -- ``200 ok`` while the loop is live, ``503
+  draining`` once shutdown began.
+* ``GET /status``  -- JSON: windows/events served, tier occupancy,
+  degradation-ladder state, stream counters (schema in
+  docs/SERVING.md).
+
+Anything else is a 404; non-GET methods get a 405.  The server binds
+``host:port`` (port 0 picks an ephemeral port; the bound address is in
+:attr:`MetricsServer.address`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable
+
+from repro.obs.logs import get_logger
+
+_log = get_logger("serve.http")
+
+#: Reason phrases for the status codes this server emits.
+_REASONS = {
+    200: "OK",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+class MetricsServer:
+    """Serve /metrics, /healthz and /status for a running daemon.
+
+    Args:
+        metrics_text: Returns the current Prometheus exposition text.
+        status: Returns the current status dict (JSON-serializable).
+        healthy: Returns True while ingest is live (False: draining).
+        host / port: Bind address; port 0 binds an ephemeral port.
+    """
+
+    def __init__(
+        self,
+        metrics_text: Callable[[], str],
+        status: Callable[[], dict],
+        healthy: Callable[[], bool],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._metrics_text = metrics_text
+        self._status = status
+        self._healthy = healthy
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        #: ``(host, port)`` actually bound, set by :meth:`start`.
+        self.address: tuple[str, int] | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _respond(self, method: str, path: str) -> tuple[int, str, str]:
+        """Route one request: ``(status, content_type, body)``."""
+        if method != "GET":
+            return 405, "text/plain", "method not allowed\n"
+        if path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4",
+                self._metrics_text(),
+            )
+        if path == "/healthz":
+            if self._healthy():
+                return 200, "text/plain", "ok\n"
+            return 503, "text/plain", "draining\n"
+        if path == "/status":
+            return (
+                200,
+                "application/json",
+                json.dumps(self._status(), sort_keys=True) + "\n",
+            )
+        return 404, "text/plain", "not found\n"
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await reader.readline()
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2:
+                writer.close()
+                return
+            method, path = parts[0], parts[1].partition("?")[0]
+            # Drain (and ignore) the request headers.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            try:
+                status, ctype, body = self._respond(method, path)
+            except Exception:  # noqa: BLE001 - a handler bug is a 500, not a crash
+                _log.exception("handler failed for %s %s", method, path)
+                status, ctype, body = 500, "text/plain", "internal error\n"
+            payload = body.encode()
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()

@@ -29,9 +29,16 @@ from repro.workloads.distributions import (
     ZipfianGenerator,
 )
 from repro.workloads.trace import TraceWorkload, record_trace
+from repro.workloads.diurnal import DiurnalWorkload
 from repro.workloads.graph import BFSWorkload, PageRankWorkload
 from repro.workloads.graphsage import GraphSAGEWorkload
 from repro.workloads.kv import KVWorkload
+from repro.workloads.live import (
+    FlashCrowdWorkload,
+    TenantChurnWorkload,
+    diurnal_kv,
+    flash_crowd_kv,
+)
 from repro.workloads.masim import MasimWorkload
 from repro.workloads.registry import WORKLOADS, make_workload, workload_table
 from repro.workloads.rmat import rmat_edges
@@ -41,6 +48,8 @@ __all__ = [
     "BFSWorkload",
     "ChurningColdSet",
     "CompositeWorkload",
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
     "GaussianGenerator",
     "GraphSAGEWorkload",
     "HotWarmColdGenerator",
@@ -48,6 +57,7 @@ __all__ = [
     "KVWorkload",
     "MasimWorkload",
     "PageRankWorkload",
+    "TenantChurnWorkload",
     "TraceWorkload",
     "UniformGenerator",
     "WORKLOADS",
@@ -55,6 +65,8 @@ __all__ = [
     "XSBenchWorkload",
     "ZipfianGenerator",
     "composite_compressibility",
+    "diurnal_kv",
+    "flash_crowd_kv",
     "make_workload",
     "record_trace",
     "rmat_edges",

@@ -250,6 +250,10 @@ class ChurningColdSet:
         """Rotate the active window by one profile-window step."""
         self.offset = (self.offset + self.step) % self.n
 
+    def reset(self) -> None:
+        """Rewind the active window to its starting position."""
+        self.offset = 0
+
 
 class HotWarmColdGenerator:
     """Three-population popularity: hot (Zipfian), warm, churning cold.
@@ -348,3 +352,8 @@ class HotWarmColdGenerator:
         """Per-window state update: cold churn rotates, hot set drifts."""
         self._cold.advance()
         self._hot_offset = (self._hot_offset + self._hot_step) % self.hot_items
+
+    def reset(self) -> None:
+        """Rewind churn and drift to their window-0 positions."""
+        self._cold.reset()
+        self._hot_offset = 0

@@ -12,11 +12,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.seeding import child_seed
 from repro.workloads.base import Workload
 
 
 class DiurnalWorkload(Workload):
     """Cycles through phases of underlying workloads.
+
+    The ``seed`` argument reseeds every phase onto an independent
+    ``SeedSequence`` substream (``child_seed(seed, i)``), so two
+    instances built with the same phase constructions and the same seed
+    produce identical access streams -- the property live-serving
+    replays (:mod:`repro.serve`) rely on.  Phase *construction* state
+    (e.g. a KV workload's layout shuffle) still derives from each
+    phase's own constructor seed.
 
     Args:
         phases: The workload generators to alternate between; all must
@@ -24,7 +33,8 @@ class DiurnalWorkload(Workload):
         windows_per_phase: Profile windows spent in each phase before
             switching to the next.
         name: Display name.
-        seed: RNG seed (unused directly; phases keep their own).
+        seed: Base RNG seed; phase ``i`` streams from
+            ``child_seed(seed, i)``.
     """
 
     def __init__(
@@ -46,6 +56,12 @@ class DiurnalWorkload(Workload):
         ops = max(p.ops_per_window for p in phases)
         super().__init__(phases[0].num_pages, ops, seed)
         self.phases = list(phases)
+        # Honor the wrapper's seed: each phase's access stream is moved
+        # onto a named substream of it, so the diurnal stream is a pure
+        # function of (phase constructions, seed).
+        for i, phase in enumerate(self.phases):
+            phase.seed = child_seed(seed, i)
+            phase.reset()
         self.windows_per_phase = windows_per_phase
         self.name = name
         self.write_fraction = float(

@@ -115,6 +115,20 @@ class KVWorkload(Workload):
             keys //= self.objects_per_page
         return self._page_of_block.take(keys)
 
+    def reset(self) -> None:
+        """Rewind drift and distribution churn along with the RNG.
+
+        Without this, :meth:`~repro.workloads.base.Workload.reset` only
+        rewound the RNG: the drift offset and the distribution's
+        churn/drift state leaked across resets, so a reset replay
+        diverged from the original run.
+        """
+        super().reset()
+        self._drift_offset = 0
+        dist_reset = getattr(self.distribution, "reset", None)
+        if dist_reset is not None:
+            dist_reset()
+
     @classmethod
     def memcached_ycsb(
         cls, num_pages: int = 16384, ops_per_window: int = 500_000, seed: int = 0

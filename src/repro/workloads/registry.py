@@ -17,7 +17,9 @@ from repro.workloads.base import Workload
 from repro.workloads.graph import BFSWorkload, PageRankWorkload
 from repro.workloads.graphsage import GraphSAGEWorkload
 from repro.workloads.kv import KVWorkload
+from repro.workloads.live import TenantChurnWorkload, diurnal_kv, flash_crowd_kv
 from repro.workloads.masim import MasimWorkload
+from repro.workloads.trace import TraceWorkload
 from repro.workloads.xsbench import XSBenchWorkload
 
 
@@ -32,6 +34,9 @@ class WorkloadSpec:
         compressibility_profile: Data-compressibility profile for the
             address space (key of :data:`repro.compression.data.PROFILES`).
         factory: Builds the workload generator.
+        table: Whether the entry appears in the Table 2 report (live /
+            trace entries are scenario-only: they are not paper rows and
+            may need required kwargs, e.g. a trace ``path``).
     """
 
     name: str
@@ -39,6 +44,7 @@ class WorkloadSpec:
     paper_rss_gb: float
     compressibility_profile: str
     factory: Callable[..., Workload]
+    table: bool = True
 
     def __post_init__(self) -> None:
         if self.compressibility_profile not in PROFILES:
@@ -124,6 +130,51 @@ WORKLOADS: dict[str, WorkloadSpec] = {
             compressibility_profile="mixed",
             factory=MasimWorkload,
         ),
+        # -- live-serving generators (scenario-only; not Table 2 rows) --
+        WorkloadSpec(
+            name="diurnal-kv",
+            description=(
+                "Day/night KV service: Zipfian YCSB peak alternating "
+                "with Gaussian memtier batch phases."
+            ),
+            paper_rss_gb=0.0,
+            compressibility_profile="mixed",
+            factory=diurnal_kv,
+            table=False,
+        ),
+        WorkloadSpec(
+            name="tenant-churn",
+            description=(
+                "Multi-tenant slab: tenants arrive with fresh hot sets, "
+                "serve weighted traffic, and depart."
+            ),
+            paper_rss_gb=0.0,
+            compressibility_profile="mixed",
+            factory=TenantChurnWorkload,
+            table=False,
+        ),
+        WorkloadSpec(
+            name="flash-crowd",
+            description=(
+                "Flash-crowd hot-set spikes layered on the diurnal KV "
+                "service."
+            ),
+            paper_rss_gb=0.0,
+            compressibility_profile="mixed",
+            factory=flash_crowd_kv,
+            table=False,
+        ),
+        WorkloadSpec(
+            name="trace",
+            description=(
+                "Replay a recorded .npz access trace (workload_kwargs: "
+                "path, loop)."
+            ),
+            paper_rss_gb=0.0,
+            compressibility_profile="mixed",
+            factory=TraceWorkload,
+            table=False,
+        ),
     )
 }
 
@@ -143,6 +194,8 @@ def workload_table() -> list[dict]:
     """Table 2 rows: name, description, paper RSS, simulated RSS."""
     rows = []
     for spec in WORKLOADS.values():
+        if not spec.table:
+            continue
         workload = spec.factory()
         rows.append(
             {

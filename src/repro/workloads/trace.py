@@ -58,9 +58,12 @@ class TraceWorkload(Workload):
         path: ``.npz`` file from :func:`record_trace`.
         loop: Whether to wrap around after the last recorded window;
             when False, requesting more windows raises ``IndexError``.
+        seed: Accepted for registry/scenario compatibility (every
+            ``make_workload`` factory receives one); replay is fully
+            deterministic regardless, since the windows are recorded.
     """
 
-    def __init__(self, path, loop: bool = True) -> None:
+    def __init__(self, path, loop: bool = True, seed: int = 0) -> None:
         path = Path(path)
         data = np.load(path)
         if "meta" not in data:
@@ -73,7 +76,7 @@ class TraceWorkload(Workload):
             data[f"window_{w}"] for w in range(self.num_windows)
         ]
         ops = max(1, max(len(w) for w in self._windows))
-        super().__init__(int(num_pages), ops)
+        super().__init__(int(num_pages), ops, seed)
         self.write_fraction = write_milli / 1000.0
 
     def _generate(self, rng: np.random.Generator) -> np.ndarray:

@@ -13,9 +13,16 @@ from repro.workloads.distributions import (
     UniformGenerator,
     ZipfianGenerator,
 )
+from repro.workloads.diurnal import DiurnalWorkload
 from repro.workloads.graph import BFSWorkload, PageRankWorkload
 from repro.workloads.graphsage import GraphSAGEWorkload
 from repro.workloads.kv import KVWorkload
+from repro.workloads.live import (
+    FlashCrowdWorkload,
+    TenantChurnWorkload,
+    diurnal_kv,
+    flash_crowd_kv,
+)
 from repro.workloads.masim import MasimWorkload
 from repro.workloads.registry import WORKLOADS, make_workload, workload_table
 from repro.workloads.rmat import degrees, rmat_edges, to_csr
@@ -253,6 +260,143 @@ class TestOtherWorkloads:
             MasimWorkload(num_pages=1024, ops_per_window=0)
 
 
+class TestDiurnalSeed:
+    """Regression: the wrapper's ``seed`` must actually steer the stream.
+
+    DiurnalWorkload used to pass its seed to the base class only; the
+    phases kept streaming from their own constructor seeds, so two
+    wrappers with different seeds produced identical accesses.
+    """
+
+    def _windows(self, seed, n=6):
+        w = diurnal_kv(num_pages=1024, ops_per_window=2000, seed=seed)
+        return [w.next_window().copy() for _ in range(n)]
+
+    def test_same_seed_identical(self):
+        for a, b in zip(self._windows(7), self._windows(7)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        assert any(
+            not np.array_equal(a, b)
+            for a, b in zip(self._windows(1), self._windows(2))
+        )
+
+    def test_phases_reseeded_onto_substreams(self):
+        # Both phases are built from the same constructor seed; without
+        # child-seed reseeding they would emit identical streams.
+        w = DiurnalWorkload(
+            phases=[
+                KVWorkload.memcached_ycsb(num_pages=1024, ops_per_window=2000),
+                KVWorkload.memcached_ycsb(num_pages=1024, ops_per_window=2000),
+            ],
+            windows_per_phase=1,
+            seed=3,
+        )
+        first, second = w.next_window().copy(), w.next_window()
+        assert not np.array_equal(first, second)
+
+    def test_reset_replays(self):
+        w = diurnal_kv(num_pages=1024, ops_per_window=2000, seed=9)
+        first = [w.next_window().copy() for _ in range(5)]
+        w.reset()
+        for batch in first:
+            np.testing.assert_array_equal(w.next_window(), batch)
+
+
+class TestTenantChurn:
+    def _make(self, seed=0):
+        return TenantChurnWorkload(
+            num_pages=1024, ops_per_window=5000, tenants=8, seed=seed
+        )
+
+    def test_range_and_determinism(self):
+        w1, w2 = self._make(), self._make()
+        for _ in range(4):
+            a, b = w1.next_window(), w2.next_window()
+            np.testing.assert_array_equal(a, b)
+            assert a.min() >= 0 and a.max() < 1024
+
+    def test_population_churns(self):
+        w = self._make()
+        initial = [s for s in w._slots]
+        assert w.active_tenants == 6  # 8 slots * 0.75
+        for _ in range(30):
+            w.next_window()
+        assert w._slots != initial
+        assert 1 <= w.active_tenants <= 8
+
+    def test_reset_replays_arrivals(self):
+        w = self._make(seed=5)
+        first = [w.next_window().copy() for _ in range(6)]
+        slots = list(w._slots)
+        w.reset()
+        for batch in first:
+            np.testing.assert_array_equal(w.next_window(), batch)
+        assert w._slots == slots
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="slots"):
+            TenantChurnWorkload(num_pages=1000, tenants=7)
+        with pytest.raises(ValueError, match="active_fraction"):
+            TenantChurnWorkload(num_pages=1024, active_fraction=0.0)
+        with pytest.raises(ValueError, match="two tenant"):
+            TenantChurnWorkload(num_pages=1024, tenants=1)
+
+
+class TestFlashCrowd:
+    def _make(self, seed=0, **kwargs):
+        return flash_crowd_kv(
+            num_pages=1024, ops_per_window=2000, seed=seed, **kwargs
+        )
+
+    def test_range_and_determinism(self):
+        w1, w2 = self._make(seed=4), self._make(seed=4)
+        for _ in range(6):
+            a, b = w1.next_window(), w2.next_window()
+            np.testing.assert_array_equal(a, b)
+            assert a.min() >= 0 and a.max() < 1024
+
+    def test_crowd_forms_and_concentrates(self):
+        w = FlashCrowdWorkload(
+            diurnal_kv(num_pages=1024, ops_per_window=2000, seed=2),
+            arrival_prob=1.0,
+            crowd_share=0.9,
+            crowd_fraction=0.02,
+            seed=2,
+        )
+        batch = w.next_window()
+        assert w.crowd_active
+        band = w.crowd_pages
+        start = w._crowd_start
+        in_band = ((batch >= start) & (batch < start + band)).mean()
+        assert in_band >= 0.8  # ~crowd_share of traffic hit the band
+
+    def test_crowd_expires(self):
+        w = FlashCrowdWorkload(
+            diurnal_kv(num_pages=1024, ops_per_window=2000, seed=2),
+            arrival_prob=0.0,
+            duration_windows=1,
+            seed=2,
+        )
+        w.next_window()
+        assert not w.crowd_active
+
+    def test_reset_replays(self):
+        w = self._make(seed=8)
+        first = [w.next_window().copy() for _ in range(5)]
+        w.reset()
+        for batch in first:
+            np.testing.assert_array_equal(w.next_window(), batch)
+
+    def test_validation(self):
+        base = diurnal_kv(num_pages=1024, ops_per_window=2000)
+        with pytest.raises(ValueError, match="crowd_share"):
+            FlashCrowdWorkload(base, crowd_share=1.5)
+        with pytest.raises(ValueError, match="duration"):
+            FlashCrowdWorkload(base, duration_windows=0)
+
+
 class TestRegistry:
     def test_table2_rows(self):
         rows = workload_table()
@@ -277,3 +421,18 @@ class TestRegistry:
         assert isinstance(w, Workload)
         with pytest.raises(KeyError, match="available"):
             make_workload("spark")
+
+    def test_live_workloads_registered_but_not_in_table(self):
+        live = {"diurnal-kv", "tenant-churn", "flash-crowd", "trace"}
+        assert live <= set(WORKLOADS)
+        table_names = {r["workload"] for r in workload_table()}
+        assert not (live & table_names)
+
+    def test_make_live_workloads(self):
+        w = make_workload(
+            "tenant-churn", seed=3, num_pages=1024, ops_per_window=1000
+        )
+        assert isinstance(w, TenantChurnWorkload)
+        assert make_workload(
+            "diurnal-kv", seed=1, num_pages=1024, ops_per_window=1000
+        ).name == "diurnal-kv"
