@@ -17,6 +17,8 @@ from __future__ import annotations
 import abc
 from typing import NamedTuple
 
+import numpy as np
+
 from repro.mem.page import PAGE_SIZE
 
 
@@ -101,6 +103,39 @@ class PoolAllocator(abc.ABC):
         """Free objects in order; equivalent to sequential :meth:`free`."""
         for handle in handles:
             self.free(handle)
+
+    # -- id-based bulk operations -------------------------------------------
+    #
+    # The columnar tier membership stores (object id, size) columns
+    # instead of Handle tuples, so the bulk migration path talks to the
+    # allocator in plain integer arrays -- no Handle construction for
+    # tens of thousands of objects per wave.  Object ids are consecutive
+    # because every store mints them through ``_issue_handle`` in call
+    # order; ``store_ids`` exposes that as a (first_id, n) contract.
+
+    def store_ids(self, sizes) -> int:
+        """Store objects in order; returns the first object id.
+
+        The ``k``-th object of ``sizes`` gets id ``first + k``.  Pool
+        state afterwards is identical to sequential :meth:`store` calls.
+        """
+        first = self._next_id
+        for size in np.asarray(sizes).tolist():
+            self.store(int(size))
+        return first
+
+    def free_ids(self, object_ids, sizes) -> None:
+        """Free objects by id in order; equivalent to sequential :meth:`free`.
+
+        ``sizes`` must be the sizes the objects were stored with (the
+        caller's csize column carries them; stored-bytes accounting
+        depends on them exactly as it does on ``Handle.size``).
+        """
+        name = self.name
+        for object_id, size in zip(
+            np.asarray(object_ids).tolist(), np.asarray(sizes).tolist()
+        ):
+            self.free(Handle(name, int(object_id), int(size)))
 
     # -- shared helpers -----------------------------------------------------
 

@@ -29,13 +29,21 @@ from pathlib import Path
 import numpy as np
 
 #: Benchmark names in report order.
-BENCH_NAMES = ("access_batch", "migration_wave", "fig08_e2e")
+BENCH_NAMES = (
+    "access_batch",
+    "migration_wave",
+    "fig08_e2e",
+    "pagetable_ops",
+    "checkpoint_roundtrip",
+)
 
 #: Units each benchmark's rate is quoted in.
 BENCH_UNITS = {
     "access_batch": "accesses/s",
     "migration_wave": "pages/s",
     "fig08_e2e": "windows/s",
+    "pagetable_ops": "cells/s",
+    "checkpoint_roundtrip": "bytes/s",
 }
 
 
@@ -155,6 +163,83 @@ def bench_fig08_e2e(windows: int = 8, seed: int = 0, repeat: int = 5) -> dict:
     }
 
 
+def bench_pagetable_ops(
+    num_pages: int = 1 << 20, repeat: int = 5, seed: int = 0
+) -> dict:
+    """Time the SoA core's primitives at scale.
+
+    One iteration exercises the three operations every hot path is built
+    from: :meth:`PageTable.group_ordered` over a realistic tier column,
+    ``placement_counts``, and fancy-indexed writes to three columns (the
+    shape of a bulk migration's state mutation).  The rate counts column
+    cells touched.
+    """
+    from repro.mem.pagetable import PageTable
+
+    rng = np.random.default_rng(seed)
+    pt = PageTable(num_pages)
+    keys = rng.integers(0, 8, size=num_pages).astype(np.int16)
+    pids = rng.permutation(num_pages)[: num_pages // 2].astype(np.int64)
+    wall = 0.0
+    cells = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        groups = PageTable.group_ordered(keys)
+        counts = pt.placement_counts(8)
+        pt.tier[pids] = 3
+        pt.last_access[pids] = 7
+        pt.csize[pids] = 512
+        wall += time.perf_counter() - t0
+        cells += num_pages * 2 + 3 * pids.size
+        del groups, counts
+    return {
+        "wall_s": wall,
+        "cells": cells,
+        "rate": cells / wall if wall else 0.0,
+        "unit": BENCH_UNITS["pagetable_ops"],
+    }
+
+
+def bench_checkpoint_roundtrip(
+    num_pages: int = 65536, windows: int = 2, repeat: int = 3, seed: int = 0
+) -> dict:
+    """Capture + restore throughput of the chaos checkpoint array path.
+
+    Runs a session a couple of windows so the compressed tiers and the
+    page-table columns hold real state, then times full
+    ``capture_session`` -> ``restore_session`` round trips.  The rate is
+    checkpoint bytes moved through the round trip per second.
+    """
+    from repro.chaos.checkpoint import capture_session, restore_session
+    from repro.engine.session import Session
+    from repro.engine.spec import ScenarioSpec
+
+    spec = ScenarioSpec(
+        workload="memcached-ycsb",
+        workload_kwargs={"num_pages": num_pages},
+        policy="waterfall",
+        windows=windows + 1,
+        seed=seed,
+    )
+    session = Session(spec)
+    for _ in range(windows):
+        session.run_window()
+    wall = 0.0
+    nbytes = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        blob = capture_session(session)
+        restore_session(blob)
+        wall += time.perf_counter() - t0
+        nbytes += len(blob)
+    return {
+        "wall_s": wall,
+        "bytes": nbytes,
+        "rate": nbytes / wall if wall else 0.0,
+        "unit": BENCH_UNITS["checkpoint_roundtrip"],
+    }
+
+
 def bench_obs_overhead(
     windows: int = 8, seed: int = 0, repeat: int = 5
 ) -> dict:
@@ -211,11 +296,19 @@ def run_benches(smoke: bool = False, seed: int = 0) -> dict:
                 num_pages=2048, repeat=2, seed=seed
             ),
             "fig08_e2e": bench_fig08_e2e(windows=2, seed=seed, repeat=1),
+            "pagetable_ops": bench_pagetable_ops(
+                num_pages=1 << 16, repeat=1, seed=seed
+            ),
+            "checkpoint_roundtrip": bench_checkpoint_roundtrip(
+                num_pages=8192, windows=1, repeat=1, seed=seed
+            ),
         }
     return {
         "access_batch": bench_access_batch(seed=seed),
         "migration_wave": bench_migration_wave(seed=seed),
         "fig08_e2e": bench_fig08_e2e(seed=seed),
+        "pagetable_ops": bench_pagetable_ops(seed=seed),
+        "checkpoint_roundtrip": bench_checkpoint_roundtrip(seed=seed),
     }
 
 

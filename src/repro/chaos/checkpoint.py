@@ -15,14 +15,47 @@ after ``k``, never state before it.  Metrics survive because the
 checkpoint carries a registry *snapshot* which is merged into the fresh
 registry on restore, so counters accumulated before the crash are not
 double- or under-counted.
+
+Format v2 (the array path): the columnar page table dominates a
+checkpoint's bytes, and pushing megabyte ndarrays through pickle's memo
+walk dominates its time.  A v2 blob is a small envelope ``{"version",
+"graph", "columns"}`` where ``graph`` is the session graph pickled under
+:class:`~repro.mem.pagetable.light_pickle` (every
+:class:`~repro.mem.pagetable.PageTable` serialized shape-only) and
+``columns`` carries each stripped table's columns as raw ``np.save``
+buffers, re-attached in graph-traversal order on restore.  v1 blobs
+(pre-SoA object graphs) still load through the legacy ``__setstate__``
+converters on Region/RegionSet/AddressSpace/CompressedTier/Zsmalloc.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
 from pathlib import Path
 
-CHECKPOINT_VERSION = 1
+import numpy as np
+
+from repro.mem.pagetable import light_pickle
+
+CHECKPOINT_VERSION = 2
+
+
+def _save_columns(table) -> dict[str, bytes]:
+    """One table's columns as raw ``np.save`` buffers."""
+    out = {}
+    for name, arr in table.columns().items():
+        buf = io.BytesIO()
+        np.save(buf, arr, allow_pickle=False)
+        out[name] = buf.getvalue()
+    return out
+
+
+def _load_columns(blobs: dict[str, bytes]) -> dict[str, np.ndarray]:
+    return {
+        name: np.load(io.BytesIO(buf), allow_pickle=False)
+        for name, buf in blobs.items()
+    }
 
 
 def _wrapped_models(policy) -> list:
@@ -49,7 +82,6 @@ def capture_session(session, rows=()) -> bytes:
         model.obs = None
     try:
         state = {
-            "version": CHECKPOINT_VERSION,
             "spec": session.spec.to_dict(),
             "windows_done": len(session.daemon.records),
             "workload": session.workload,
@@ -66,7 +98,14 @@ def capture_session(session, rows=()) -> bytes:
             "metrics": session.obs.registry.snapshot(),
             "rows": list(rows),
         }
-        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        with light_pickle() as lp:
+            graph = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "version": CHECKPOINT_VERSION,
+            "graph": graph,
+            "columns": [_save_columns(table) for table in lp.tables],
+        }
+        return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
     finally:
         for model, obs in saved_obs:
             model.obs = obs
@@ -91,10 +130,24 @@ def restore_session(blob: bytes, *, hooks=(), obs=None, sink=None):
     from repro.engine.spec import ScenarioSpec
 
     state = pickle.loads(blob)
-    if state.get("version") != CHECKPOINT_VERSION:
+    version = state.get("version")
+    if version == 2:
+        with light_pickle() as lp:
+            graph = pickle.loads(state["graph"])
+        if len(lp.tables) != len(state["columns"]):
+            raise ValueError(
+                f"checkpoint carries {len(state['columns'])} column sets "
+                f"but the graph holds {len(lp.tables)} page tables"
+            )
+        for table, blobs in zip(lp.tables, state["columns"]):
+            table.attach_columns(_load_columns(blobs))
+        state = graph
+    elif version != 1:
+        # v1 blobs are the bare state dict; the legacy ``__setstate__``
+        # converters already rebuilt its object graph columnar by the
+        # time pickle.loads returned.
         raise ValueError(
-            f"checkpoint version {state.get('version')!r} != "
-            f"{CHECKPOINT_VERSION}"
+            f"checkpoint version {version!r} not in (1, {CHECKPOINT_VERSION})"
         )
     spec = ScenarioSpec.from_dict(state["spec"])
     session = Session(

@@ -52,9 +52,7 @@ def check_capacity(system) -> None:
                 f"compressed tier {tier.name}: {tier.resident_pages} "
                 f"stored but {located} pages located there"
             )
-            stored_bytes = sum(
-                s.compressed_size for s in tier._stored.values()
-            )
+            stored_bytes = int(tier.stored_csizes().sum())
             assert tier.stats.compressed_bytes == stored_bytes, (
                 f"compressed tier {tier.name}: accounting says "
                 f"{tier.stats.compressed_bytes} B but objects hold "

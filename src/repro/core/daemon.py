@@ -26,6 +26,7 @@ from repro.core.metrics import RunSummary
 from repro.core.placement.base import PlacementModel
 from repro.core.placement.filter import MigrationFilter
 from repro.mem.migration import MigrationEngine
+from repro.mem.stats import tier_rollup
 from repro.mem.system import TieredMemorySystem
 from repro.obs import NULL_OBS, Observability
 from repro.workloads.base import Workload
@@ -267,9 +268,9 @@ class TSDaemon:
                 self.profiler.record(page_ids)
             record = self.profiler.end_window()
 
-        # Update region hotness for models that read it off the regions.
-        for region in system.space.regions:
-            region.hotness = float(record.hotness[region.region_id])
+        # Update region hotness for models that read it off the regions:
+        # one column copy into the SoA table (bit-identical float64).
+        system.space.page_table.region_hotness[:] = record.hotness
 
         solver_before = self.model.solver_ns
         with tracer.span("solve", policy=self.model.name) as span:
@@ -285,10 +286,9 @@ class TSDaemon:
         migration_wall_ns = self.engine.apply(wave)
 
         placement = system.placement_counts()
-        pool_pages = np.array(
-            [t.used_pages if t.is_compressed else 0 for t in system.tiers]
-        )
-        faults_now = np.array([t.stats.faults for t in system.tiers])
+        rollup = tier_rollup(system.tiers)
+        pool_pages = rollup["pool_pages"]
+        faults_now = rollup["faults"]
         window_faults = faults_now - self._prev_faults
         self._prev_faults = faults_now
 

@@ -15,6 +15,7 @@ from repro.mem.address_space import AddressSpace
 from repro.mem.media import CXL, DRAM, MediaSpec, NVMM
 from repro.mem.migration import MigrationEngine, MigrationStats
 from repro.mem.page import PAGE_SIZE, PAGES_PER_REGION, REGION_SIZE
+from repro.mem.pagetable import PageTable
 from repro.mem.region import Region
 from repro.mem.stats import TierStats
 from repro.mem.system import TieredMemorySystem
@@ -32,6 +33,7 @@ __all__ = [
     "NVMM",
     "PAGE_SIZE",
     "PAGES_PER_REGION",
+    "PageTable",
     "REGION_SIZE",
     "Region",
     "Tier",

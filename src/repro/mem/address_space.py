@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.compression.data import page_compressibilities
 from repro.mem.page import PAGE_SIZE, PAGES_PER_REGION
+from repro.mem.pagetable import PageTable
 from repro.mem.region import RegionSet
 
 
@@ -39,8 +40,15 @@ class AddressSpace:
                 f"address space needs at least one region "
                 f"({PAGES_PER_REGION} pages), got {num_pages}"
             )
+        if num_pages % PAGES_PER_REGION:
+            raise ValueError(
+                f"num_pages ({num_pages}) must be a multiple of "
+                f"{PAGES_PER_REGION} (2 MB regions)"
+            )
         self.num_pages = num_pages
-        self.regions = RegionSet.for_pages(num_pages)
+        #: The columnar metadata store every page/region view reads.
+        self.page_table = PageTable(num_pages)
+        self.regions = RegionSet(self.page_table)
         if compressibility is not None:
             compressibility = np.asarray(compressibility, dtype=np.float64)
             if compressibility.shape != (num_pages,):
@@ -76,6 +84,13 @@ class AddressSpace:
     def size_bytes(self) -> int:
         """Total size in bytes (the application's RSS in the simulation)."""
         return self.num_pages * PAGE_SIZE
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if "page_table" not in state:
+            # Pre-SoA checkpoint: RegionSet.__setstate__ already rebuilt
+            # its columns from the legacy Region list; adopt that table.
+            self.page_table = self.regions.table
 
     def region_compressibility(self) -> np.ndarray:
         """Mean intrinsic compressibility per region, shape (num_regions,)."""

@@ -1,0 +1,274 @@
+"""Columnar (structure-of-arrays) page/region metadata table.
+
+All per-page and per-region metadata of one address space lives here as
+parallel numpy columns -- the same engineering move TPP makes in the
+kernel, where page state is flat per-NUMA arrays scanned in bulk rather
+than an object graph.  :class:`~repro.mem.region.Region` (and any future
+page view) is a thin index-backed view over these columns; nothing in the
+simulator's hot paths allocates a Python object per page.
+
+Page columns (shape ``(num_pages,)``):
+
+==============  =======  ====================================================
+column          dtype    meaning
+==============  =======  ====================================================
+``tier``        int16    index of the tier currently holding the page
+``last_access`` int64    profile window of the most recent access
+``region_id``   int32    owning 2 MB region (static tiling)
+``ct_owner``    int16    compressed tier *token* storing the page, -1 if none
+``csize``       int64    compressed size in bytes while stored, else 0
+``obj_id``      int64    pool-allocator object id while stored, else -1
+==============  =======  ====================================================
+
+Region columns (shape ``(num_regions,)``): ``region_assigned`` (int16,
+the placement model's last recommendation) and ``region_hotness``
+(float64, cooled telemetry hotness).
+
+The ``resident`` flag of a page is derived: ``ct_owner < 0`` means the
+page is byte-addressable (uncompressed) wherever ``tier`` says it is.
+Keeping it derived instead of stored makes drift impossible.
+
+Invariants (checked by the property suites, relied on by
+``repro.chaos.invariants``):
+
+* ``ct_owner[p] == t`` implies ``csize[p] >= 1`` and ``obj_id[p] >= 0``;
+  ``ct_owner[p] == -1`` implies ``csize[p] == 0`` and ``obj_id[p] == -1``.
+* A page has at most one compressed owner (one column cell).
+* ``tier`` is maintained by :class:`~repro.mem.system.TieredMemorySystem`
+  only; compressed-tier membership columns are maintained by
+  :class:`~repro.mem.tier.CompressedTier` only.  During the window where
+  a migration is mid-flight the two may legitimately disagree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.page import PAGES_PER_REGION
+
+#: ``last_access`` value meaning "never accessed" (far past).
+NEVER_ACCESSED = -(1 << 30)
+
+
+class PageTable:
+    """Parallel numpy columns for one address space's pages and regions.
+
+    Args:
+        num_pages: Pages covered by the page columns.
+        num_regions: Regions covered by the region columns; ``None``
+            derives it from the 2 MB tiling when ``num_pages`` tiles
+            exactly, else 0 (private tier-side tables don't tile).
+    """
+
+    __slots__ = (
+        "num_pages",
+        "num_regions",
+        "tier",
+        "last_access",
+        "region_id",
+        "ct_owner",
+        "csize",
+        "obj_id",
+        "region_assigned",
+        "region_hotness",
+    )
+
+    #: Column names serialized by the checkpoint array path, in order.
+    PAGE_COLUMNS = ("tier", "last_access", "region_id", "ct_owner", "csize", "obj_id")
+    REGION_COLUMNS = ("region_assigned", "region_hotness")
+
+    def __init__(self, num_pages: int, num_regions: int | None = None) -> None:
+        if num_pages < 0:
+            raise ValueError("num_pages must be >= 0")
+        if num_regions is None:
+            num_regions = (
+                num_pages // PAGES_PER_REGION
+                if num_pages % PAGES_PER_REGION == 0
+                else 0
+            )
+        self.num_pages = num_pages
+        self.num_regions = num_regions
+        self.tier = np.zeros(num_pages, dtype=np.int16)
+        self.last_access = np.full(num_pages, NEVER_ACCESSED, dtype=np.int64)
+        self.region_id = (
+            np.arange(num_pages, dtype=np.int32) // PAGES_PER_REGION
+            if num_regions
+            else np.zeros(num_pages, dtype=np.int32)
+        )
+        self.ct_owner = np.full(num_pages, -1, dtype=np.int16)
+        self.csize = np.zeros(num_pages, dtype=np.int64)
+        self.obj_id = np.full(num_pages, -1, dtype=np.int64)
+        self.region_assigned = np.zeros(num_regions, dtype=np.int16)
+        self.region_hotness = np.zeros(num_regions, dtype=np.float64)
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def resident(self) -> np.ndarray:
+        """Boolean mask of pages currently byte-addressable (derived)."""
+        return self.ct_owner < 0
+
+    def placement_counts(self, num_tiers: int) -> np.ndarray:
+        """Pages per tier, shape ``(num_tiers,)``."""
+        return np.bincount(self.tier, minlength=num_tiers)
+
+    def compressed_bytes_in_range(self, token: int, start: int, stop: int) -> int:
+        """Compressed bytes stored under ``token`` for pages in ``[start, stop)``."""
+        sl = slice(start, stop)
+        return int(self.csize[sl][self.ct_owner[sl] == token].sum())
+
+    # -- grouping ------------------------------------------------------------
+
+    @staticmethod
+    def group_ordered(
+        keys: np.ndarray, *, first_seen: bool = False
+    ) -> list[tuple[int, np.ndarray]]:
+        """Group positions ``0..len(keys)`` by key, preserving input order.
+
+        The one grouping primitive behind every per-tier (and, in
+        zsmalloc, per-size-class) batch: a stable argsort makes each
+        key's positions contiguous while keeping them in input order,
+        which is what the order-sensitive allocator paths require.
+
+        Args:
+            keys: 1-D integer key per position.
+            first_seen: Emit groups in first-occurrence order instead of
+                ascending key order (sequential-loop parity for paths
+                that create state per new key, e.g. zsmalloc partial
+                lists).
+
+        Returns:
+            ``(key, positions)`` pairs; ``positions`` is an int array of
+            the input positions holding ``key``, in input order.
+        """
+        n = len(keys)
+        if n == 0:
+            return []
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        uniq, first = np.unique(keys, return_index=True)
+        starts = np.searchsorted(sorted_keys, uniq)
+        ends = np.append(starts[1:], n)
+        ks = range(len(uniq))
+        if first_seen:
+            ks = np.argsort(first, kind="stable").tolist()
+        return [(int(uniq[k]), order[starts[k] : ends[k]]) for k in ks]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset_placement(self) -> None:
+        """Reset page-level columns to the all-in-tier-0 initial state.
+
+        Called when a fresh :class:`~repro.mem.system.TieredMemorySystem`
+        binds to the address space, restoring the pre-SoA semantics where
+        placement state was per-system (region columns are *not* touched:
+        regions belong to the space, as the old object layer's shared
+        ``Region`` instances did).
+        """
+        self.tier[:] = 0
+        self.last_access[:] = NEVER_ACCESSED
+        self.ct_owner[:] = -1
+        self.csize[:] = 0
+        self.obj_id[:] = -1
+
+    def grow(self, min_pages: int) -> None:
+        """Grow the page columns to at least ``min_pages`` (private tables).
+
+        Unbound :class:`~repro.mem.tier.CompressedTier` instances size
+        their private tables on demand; doubling keeps the amortized
+        cost constant.
+        """
+        if min_pages <= self.num_pages:
+            return
+        new = max(min_pages, 2 * self.num_pages, 64)
+        for name, fill in (
+            ("tier", 0),
+            ("last_access", NEVER_ACCESSED),
+            ("region_id", 0),
+            ("ct_owner", -1),
+            ("csize", 0),
+            ("obj_id", -1),
+        ):
+            old = getattr(self, name)
+            col = np.full(new, fill, dtype=old.dtype)
+            col[: old.size] = old
+            setattr(self, name, col)
+        self.num_pages = new
+
+    # -- serialization -------------------------------------------------------
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """All columns by name (the checkpoint array path serializes these)."""
+        return {
+            name: getattr(self, name)
+            for name in self.PAGE_COLUMNS + self.REGION_COLUMNS
+        }
+
+    def attach_columns(self, columns: dict[str, np.ndarray]) -> None:
+        """Re-attach columns detached by the light-pickle checkpoint path."""
+        for name in self.PAGE_COLUMNS + self.REGION_COLUMNS:
+            setattr(self, name, np.ascontiguousarray(columns[name]))
+        self.num_pages = int(self.tier.size)
+        self.num_regions = int(self.region_assigned.size)
+
+    def __getstate__(self):
+        state = {"num_pages": self.num_pages, "num_regions": self.num_regions}
+        if _STRIPPED is not None:
+            # Checkpoint array path: the columns travel out-of-band as
+            # raw ``np.save`` buffers; the pickled graph carries only the
+            # shape, and the surrounding :class:`light_pickle` context
+            # records which tables were stripped, in traversal order.
+            _STRIPPED.append(self)
+            return state
+        state.update(self.columns())
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.num_pages = state["num_pages"]
+        self.num_regions = state["num_regions"]
+        stripped = "tier" not in state
+        for name in self.PAGE_COLUMNS + self.REGION_COLUMNS:
+            # Light pickle: placeholder columns until attach_columns().
+            setattr(self, name, state.get(name))
+        if stripped and _STRIPPED is not None:
+            # Unpickling traverses the graph in the same order pickling
+            # did, so the restore side can zip stripped tables with the
+            # column sets captured alongside the graph.
+            _STRIPPED.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PageTable({self.num_pages} pages, {self.num_regions} regions)"
+
+
+#: While a :class:`light_pickle` context is active, the list collecting
+#: every PageTable pickled (capture) or unpickled column-less (restore),
+#: in graph-traversal order; ``None`` outside the context.
+_STRIPPED: list[PageTable] | None = None
+
+
+class light_pickle:
+    """Context manager: (un)pickle PageTables without their columns.
+
+    The chaos checkpoint's array path serializes the columns separately
+    as raw ``np.save`` buffers (no pickle memo walk, no copy-through-
+    opcode stream) and re-attaches them on restore.  Everything else --
+    ``copy.deepcopy``, fleet worker transport, plain ``pickle.dumps`` --
+    sees the normal full state.
+
+    Inside the context, :attr:`tables` accumulates the affected tables
+    in deterministic graph-traversal order: on capture, every table
+    whose columns were stripped; on restore, every table awaiting
+    :meth:`PageTable.attach_columns`.
+    """
+
+    def __enter__(self):
+        global _STRIPPED
+        self._saved = _STRIPPED
+        self.tables: list[PageTable] = []
+        _STRIPPED = self.tables
+        return self
+
+    def __exit__(self, *exc):
+        global _STRIPPED
+        _STRIPPED = self._saved
+        return False

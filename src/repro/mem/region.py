@@ -1,4 +1,4 @@
-"""2 MB management regions (paper §7.2).
+"""2 MB management regions (paper §7.2) as page-table views.
 
 TS-Daemon manages the address space at 2 MB granularity: hotness is
 accumulated per region and migrations move whole regions.  Individual 4 KB
@@ -6,18 +6,26 @@ pages may still *leave* a region's assigned tier on demand (a fault on a
 compressed page promotes just that page), which is why the paper's Figure 9
 distinguishes recommended from actual placement -- the simulator reproduces
 that distinction.
+
+Since the columnar refactor a :class:`Region` is a *view*: two slots (a
+:class:`~repro.mem.pagetable.PageTable` reference and an index) and
+properties that read/write the table's ``region_assigned`` /
+``region_hotness`` columns.  :class:`RegionSet` materializes views lazily
+on indexing/iteration instead of holding a list of region objects, so
+bulk paths (the daemon's hotness scatter, the placement models' column
+reads) never touch per-region Python objects at all.  A ``Region``
+constructed without a table (and any region unpickled from a pre-SoA
+checkpoint) falls back to storing the two values on the instance.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.mem.page import PAGES_PER_REGION
+from repro.mem.pagetable import PageTable
 
 
-@dataclass
 class Region:
-    """One 2 MB region of an application's address space.
+    """One 2 MB region of an application's address space (a table view).
 
     Attributes:
         region_id: Dense index of the region.
@@ -27,9 +35,51 @@ class Region:
         hotness: Cooled access count from telemetry (updated per window).
     """
 
-    region_id: int
-    assigned_tier: int = 0
-    hotness: float = 0.0
+    __slots__ = ("region_id", "_table", "_assigned", "_hotness")
+
+    def __init__(
+        self,
+        region_id: int,
+        assigned_tier: int = 0,
+        hotness: float = 0.0,
+        *,
+        table: PageTable | None = None,
+    ) -> None:
+        self.region_id = region_id
+        self._table = table
+        if table is None:
+            self._assigned = assigned_tier
+            self._hotness = hotness
+
+    # -- column-backed attributes -------------------------------------------
+
+    @property
+    def assigned_tier(self) -> int:
+        if self._table is None:
+            return self._assigned
+        return int(self._table.region_assigned[self.region_id])
+
+    @assigned_tier.setter
+    def assigned_tier(self, value: int) -> None:
+        if self._table is None:
+            self._assigned = value
+        else:
+            self._table.region_assigned[self.region_id] = value
+
+    @property
+    def hotness(self) -> float:
+        if self._table is None:
+            return self._hotness
+        return float(self._table.region_hotness[self.region_id])
+
+    @hotness.setter
+    def hotness(self, value: float) -> None:
+        if self._table is None:
+            self._hotness = value
+        else:
+            self._table.region_hotness[self.region_id] = value
+
+    # -- geometry ------------------------------------------------------------
 
     @property
     def start_page(self) -> int:
@@ -45,6 +95,24 @@ class Region:
         """Page ids covered by this region."""
         return range(self.start_page, self.end_page)
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        # Views detach on pickle: a region travelling alone (records,
+        # diagnostics) carries its values, not the whole table.
+        return {
+            "region_id": self.region_id,
+            "assigned_tier": self.assigned_tier,
+            "hotness": self.hotness,
+        }
+
+    def __setstate__(self, state) -> None:
+        # Also accepts the pre-SoA dataclass __dict__ (same keys).
+        self.region_id = state["region_id"]
+        self._table = None
+        self._assigned = state["assigned_tier"]
+        self._hotness = state["hotness"]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Region({self.region_id}, tier={self.assigned_tier}, "
@@ -52,11 +120,13 @@ class Region:
         )
 
 
-@dataclass
 class RegionSet:
-    """The full set of regions of one address space."""
+    """The full set of regions of one address space (lazy views)."""
 
-    regions: list[Region] = field(default_factory=list)
+    __slots__ = ("table",)
+
+    def __init__(self, table: PageTable) -> None:
+        self.table = table
 
     @classmethod
     def for_pages(cls, num_pages: int) -> "RegionSet":
@@ -66,14 +136,38 @@ class RegionSet:
                 f"num_pages ({num_pages}) must be a multiple of "
                 f"{PAGES_PER_REGION} (2 MB regions)"
             )
-        count = num_pages // PAGES_PER_REGION
-        return cls(regions=[Region(region_id=i) for i in range(count)])
+        return cls(PageTable(num_pages))
 
     def __len__(self) -> int:
-        return len(self.regions)
+        return self.table.num_regions
 
     def __iter__(self):
-        return iter(self.regions)
+        table = self.table
+        for i in range(table.num_regions):
+            yield Region(i, table=table)
 
     def __getitem__(self, idx: int) -> Region:
-        return self.regions[idx]
+        table = self.table
+        if not -table.num_regions <= idx < table.num_regions:
+            raise IndexError(f"region index {idx} out of range")
+        if idx < 0:
+            idx += table.num_regions
+        return Region(idx, table=table)
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        return {"table": self.table}
+
+    def __setstate__(self, state) -> None:
+        if "regions" in state:
+            # Pre-SoA checkpoint: a list of Region objects.  Rebuild the
+            # column form; AddressSpace.__setstate__ adopts this table.
+            regions = state["regions"]
+            table = PageTable(len(regions) * PAGES_PER_REGION)
+            for region in regions:
+                table.region_assigned[region.region_id] = region.assigned_tier
+                table.region_hotness[region.region_id] = region.hotness
+            self.table = table
+        else:
+            self.table = state["table"]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class TierStats:
@@ -75,6 +77,43 @@ class ClockStats:
 
     def snapshot(self) -> dict:
         return {name: getattr(self, name) for name in self.field_names}
+
+
+#: Counter columns produced by :func:`tier_rollup`, in order.
+ROLLUP_COLUMNS = (
+    "accesses",
+    "faults",
+    "pages_in",
+    "pages_out",
+    "compressed_bytes",
+    "stores",
+    "pool_pages",
+)
+
+
+def tier_rollup(tiers) -> dict[str, np.ndarray]:
+    """Columnar snapshot of every tier's counters, one array per counter.
+
+    The SoA analogue of calling :meth:`TierStats.snapshot` per tier: each
+    returned array has one entry per tier, in tier order, so per-window
+    consumers (daemon records, the serve daemon's metrics endpoint) index
+    and subtract whole columns instead of rebuilding lists of dicts.
+    ``pool_pages`` is the tier's physical occupancy for compressed tiers
+    and 0 for byte-addressable ones (the quantity Figures 8/9 plot).
+    """
+    n = len(tiers)
+    out = {name: np.zeros(n, dtype=np.int64) for name in ROLLUP_COLUMNS}
+    for i, tier in enumerate(tiers):
+        s = tier.stats
+        out["accesses"][i] = s.accesses
+        out["faults"][i] = s.faults
+        out["pages_in"][i] = s.pages_in
+        out["pages_out"][i] = s.pages_out
+        out["compressed_bytes"][i] = s.compressed_bytes
+        out["stores"][i] = s.stores
+        if tier.is_compressed:
+            out["pool_pages"][i] = tier.used_pages
+    return out
 
 
 # Keep dataclass field() import referenced for subclasses extending stats.

@@ -26,6 +26,7 @@ import numpy as np
 from repro.allocators.base import AllocationError
 from repro.mem.address_space import AddressSpace
 from repro.mem.page import PAGE_SIZE
+from repro.mem.pagetable import PageTable
 from repro.mem.stats import ClockStats
 from repro.mem.tier import (
     CHUNK_BYTES,
@@ -101,14 +102,15 @@ class TieredMemorySystem:
         self._tier_index = {name: i for i, name in enumerate(names)}
         self.space = address_space
         self.clock = ClockStats()
-        self.page_location = np.zeros(address_space.num_pages, dtype=np.int16)
-        # Per-page recency, in profile windows -- the simulator's analogue
-        # of the page-table ACCESSED bit / swap LRU position: demotions
-        # skip recently touched pages (see move_region).
+        # The columnar page table owns all per-page state; a fresh system
+        # starts from the everything-in-tier-0 placement (page columns are
+        # per-system state, region columns belong to the space).
+        self.pt = address_space.page_table
+        self.pt.reset_placement()
         self.current_window = 0
-        self.last_access_window = np.full(
-            address_space.num_pages, -(1 << 30), dtype=np.int64
-        )
+        for idx, tier in enumerate(tiers):
+            if tier.is_compressed:
+                tier.bind_table(self.pt, idx)
         tiers[0].add_pages(address_space.num_pages)
         self._byte_tier_indices = [
             i for i, t in enumerate(tiers) if isinstance(t, ByteAddressableTier)
@@ -130,6 +132,19 @@ class TieredMemorySystem:
     # -- small helpers -------------------------------------------------------
 
     @property
+    def page_location(self) -> np.ndarray:
+        """Per-page tier index: the ``tier`` column (historical name)."""
+        return self.pt.tier
+
+    @property
+    def last_access_window(self) -> np.ndarray:
+        """Per-page recency, in profile windows -- the simulator's
+        analogue of the page-table ACCESSED bit / swap LRU position:
+        demotions skip recently touched pages (see :meth:`move_region`).
+        The ``last_access`` column under its historical name."""
+        return self.pt.last_access
+
+    @property
     def dram(self) -> ByteAddressableTier:
         """The fastest byte-addressable tier (promotion target)."""
         return self.tiers[0]  # type: ignore[return-value]
@@ -144,7 +159,7 @@ class TieredMemorySystem:
 
     def placement_counts(self) -> np.ndarray:
         """Application pages per tier, shape ``(len(tiers),)``."""
-        return np.bincount(self.page_location, minlength=len(self.tiers))
+        return self.pt.placement_counts(len(self.tiers))
 
     def _tier_csizes(self, tier_idx: int, page_ids: np.ndarray) -> np.ndarray:
         """Per-page compressed sizes at ``tiers[tier_idx]`` (memoized)."""
@@ -233,12 +248,13 @@ class TieredMemorySystem:
         self.clock.total_accesses += total
         self.clock.optimal_ns += total * self.dram.media.read_ns
 
+        # group_ordered visits tiers in ascending index order with each
+        # group's pages in ascending page order -- exactly the old
+        # enumerate-tiers-and-mask iteration, minus the per-tier scans.
         locations = self.page_location[pages]
-        for idx, tier in enumerate(self.tiers):
-            mask = locations == idx
-            if not mask.any():
-                continue
-            tier_counts = counts[mask]
+        for idx, pos in PageTable.group_ordered(locations):
+            tier = self.tiers[idx]
+            tier_counts = counts[pos]
             n_accesses = int(tier_counts.sum())
             if isinstance(tier, ByteAddressableTier):
                 ns = tier.access_ns(n_accesses, write_fraction)
@@ -248,7 +264,7 @@ class TieredMemorySystem:
                 result.latency_histogram.append((per_access, n_accesses))
             else:
                 self._fault_pages(
-                    tier, pages[mask], tier_counts, result, write_fraction
+                    tier, pages[pos], tier_counts, result, write_fraction
                 )
         self.clock.access_ns += result.access_ns
         return result
@@ -281,11 +297,10 @@ class TieredMemorySystem:
                 "no byte-addressable tier has room to promote a faulted page; "
                 "size tiers[0] to hold the whole address space"
             )
-        pids = page_ids.tolist()
-        fault_ns = tier.remove_pages_bulk(pids, fault=True)
+        fault_ns = tier.remove_pages_bulk(page_ids, fault=True)
         tier.stats.accesses += n
         result.faults += n
-        result.faulted_pages.extend(pids)
+        result.faulted_pages.extend(page_ids.tolist())
 
         # Promotion targets by capacity slice: fill the fastest byte
         # tier with room, then re-resolve for the remainder.
@@ -608,28 +623,23 @@ class TieredMemorySystem:
         if store_mask.any():
             store_cs[store_mask] = self._tier_csizes(dst_idx, pids[store_mask])
         tiers = self.tiers
-        src_indices, src_counts = np.unique(srcs, return_counts=True)
+        src_groups = PageTable.group_ordered(srcs)
         removed_cs = np.zeros(n, dtype=np.int64)
-        for t_idx in src_indices.tolist():
+        for t_idx, pos in src_groups:
             tier = tiers[t_idx]
             if tier.is_compressed:
-                group = srcs == t_idx
-                removed_cs[group] = tier.pop_pages_bulk(pids[group].tolist())
+                removed_cs[pos] = tier.pop_pages_bulk(pids[pos])
         if store_mask.any():
-            dst.store_prepared_bulk(
-                pids[store_mask].tolist(), store_cs[store_mask].tolist()
-            )
+            dst.store_prepared_bulk(pids[store_mask], store_cs[store_mask])
 
         # -- batched byte-tier residency + statistics
-        for t_idx, count in zip(src_indices.tolist(), src_counts.tolist()):
+        for t_idx, pos in src_groups:
             tier = tiers[t_idx]
             if tier.is_compressed:
-                tier.stats.pages_out += count
-                tier.stats.compressed_bytes -= int(
-                    removed_cs[srcs == t_idx].sum()
-                )
+                tier.stats.pages_out += pos.size
+                tier.stats.compressed_bytes -= int(removed_cs[pos].sum())
             else:
-                tier.remove_pages(count)
+                tier.remove_pages(pos.size)
         if isinstance(dst, CompressedTier):
             n_store = int(store_mask.sum())
             dst.stats.pages_in += n_store
@@ -644,19 +654,18 @@ class TieredMemorySystem:
         # -- vectorized latency model (identical ops to move_page)
         per_ns = np.zeros(n, dtype=np.float64)
         removed_f = removed_cs.astype(np.float64)
-        for t_idx in src_indices.tolist():
+        for t_idx, pos in src_groups:
             tier = tiers[t_idx]
-            group = srcs == t_idx
             if tier.is_compressed:
                 fixed = (
                     tier.allocator.mgmt_overhead_ns
                     + tier.algorithm.decompress_ns()
                 )
-                per_ns[group] = fixed + tier.media.read_ns * np.ceil(
-                    removed_f[group] / CHUNK_BYTES
+                per_ns[pos] = fixed + tier.media.read_ns * np.ceil(
+                    removed_f[pos] / CHUNK_BYTES
                 )
             else:
-                per_ns[group] = tier.media.read_ns * _PAGE_CHUNKS
+                per_ns[pos] = tier.media.read_ns * _PAGE_CHUNKS
         if isinstance(dst, CompressedTier):
             fixed = dst.allocator.mgmt_overhead_ns + dst.algorithm.compress_ns()
             per_ns[store_mask] += fixed + dst.media.write_ns * np.ceil(
@@ -686,6 +695,36 @@ class TieredMemorySystem:
     def advance_window(self) -> None:
         """Tick the recency clock; the daemon calls this once per window."""
         self.current_window += 1
+
+    # -- pickling ---------------------------------------------------------------
+
+    def __setstate__(self, state) -> None:
+        # page_location / last_access_window are properties now; pop any
+        # dict entries a pre-SoA pickle carries so they never shadow-rot.
+        page_location = state.pop("page_location", None)
+        last_access = state.pop("last_access_window", None)
+        self.__dict__.update(state)
+        if "pt" in state:
+            return
+        # Pre-SoA pickle: adopt the space's (converted) table, copy the
+        # legacy placement/recency arrays into its columns, and fold each
+        # compressed tier's private membership table into the shared one
+        # under its tier-index token.
+        pt = self.space.page_table
+        pt.tier[:] = page_location
+        pt.last_access[:] = last_access
+        self.pt = pt
+        for idx, tier in enumerate(self.tiers):
+            if not tier.is_compressed:
+                continue
+            private = tier._pt
+            if private is not None and private is not pt:
+                stored = np.flatnonzero(private.ct_owner == tier._token)
+                pt.ct_owner[stored] = idx
+                pt.csize[stored] = private.csize[stored]
+                pt.obj_id[stored] = private.obj_id[stored]
+            tier._pt = pt
+            tier._token = idx
 
     # -- TCO (Eq. 8 / Eq. 10) ---------------------------------------------------
 

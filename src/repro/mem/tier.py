@@ -31,6 +31,7 @@ from repro.allocators.zsmalloc import size_class
 from repro.compression.model import AlgorithmModel
 from repro.mem.media import DRAM, MediaSpec
 from repro.mem.page import PAGE_SIZE
+from repro.mem.pagetable import PageTable
 from repro.mem.stats import TierStats
 
 #: Granularity at which compressed objects stream from their backing medium.
@@ -128,12 +129,21 @@ class ByteAddressableTier(Tier):
 
 
 class _StoredPage(NamedTuple):
+    # Pre-SoA stored-page record; kept only so old pickles still load.
     handle: Handle
     compressed_size: int
 
 
 class CompressedTier(Tier):
     """A zswap-style compressed tier = algorithm + allocator + medium.
+
+    Membership is columnar: the tier marks the pages it stores in a
+    :class:`~repro.mem.pagetable.PageTable`'s ``ct_owner`` column under
+    its *token* and keeps each page's compressed size and pool object id
+    in the ``csize`` / ``obj_id`` columns.  A tier inside a
+    :class:`~repro.mem.system.TieredMemorySystem` is bound to the address
+    space's shared table (token = tier index); a standalone tier lazily
+    creates a private table sized to the page ids it sees.
 
     Args:
         name: Display name (e.g. ``"C7"``).
@@ -156,7 +166,31 @@ class CompressedTier(Tier):
         super().__init__(name, media, capacity_pages)
         self.algorithm = algorithm
         self.allocator = allocator
-        self._stored: dict[int, _StoredPage] = {}
+        self._pt: PageTable | None = None
+        self._token = 0
+        self._resident = 0
+
+    # -- membership columns -------------------------------------------------
+
+    def bind_table(self, table: PageTable, token: int) -> None:
+        """Adopt a shared page table; called when a system binds the tier.
+
+        A tier that already stores pages keeps its current table (its
+        membership columns are authoritative wherever they live; every
+        access goes through the tier, never the table directly).
+        """
+        if self._resident == 0:
+            self._pt = table
+            self._token = token
+
+    def _table(self, min_pages: int = 0) -> PageTable:
+        """This tier's membership table, growing a private one on demand."""
+        pt = self._pt
+        if pt is None:
+            pt = self._pt = PageTable(0, num_regions=0)
+        if min_pages > pt.num_pages:
+            pt.grow(min_pages)
+        return pt
 
     # -- capacity -----------------------------------------------------------
 
@@ -167,10 +201,15 @@ class CompressedTier(Tier):
     @property
     def resident_pages(self) -> int:
         """Application pages stored compressed (not pool pages)."""
-        return len(self._stored)
+        return self._resident
 
     def contains(self, page_id: int) -> bool:
-        return page_id in self._stored
+        pt = self._pt
+        return (
+            pt is not None
+            and 0 <= page_id < pt.num_pages
+            and pt.ct_owner[page_id] == self._token
+        )
 
     def stored_bytes_in_range(self, start: int, end: int) -> int:
         """Compressed bytes stored for pages in ``[start, end)``.
@@ -178,11 +217,19 @@ class CompressedTier(Tier):
         Used for per-tenant TCO attribution when applications are
         co-located in one address space.
         """
-        return sum(
-            stored.compressed_size
-            for pid, stored in self._stored.items()
-            if start <= pid < end
+        pt = self._pt
+        if pt is None:
+            return 0
+        return pt.compressed_bytes_in_range(
+            self._token, max(start, 0), min(end, pt.num_pages)
         )
+
+    def stored_csizes(self) -> np.ndarray:
+        """Compressed sizes of every stored page (accounting invariants)."""
+        pt = self._pt
+        if pt is None:
+            return np.zeros(0, dtype=np.int64)
+        return pt.csize[pt.ct_owner == self._token]
 
     # -- admission ----------------------------------------------------------
 
@@ -211,8 +258,8 @@ class CompressedTier(Tier):
         Either ``page_id`` (for a stored page) or ``intrinsic`` (for
         planning) must be given.
         """
-        if page_id is not None and page_id in self._stored:
-            csize = self._stored[page_id].compressed_size
+        if page_id is not None and self.contains(page_id):
+            csize = int(self._pt.csize[page_id])
         elif intrinsic is not None:
             csize = self.algorithm.compressed_size(intrinsic)
         else:
@@ -236,7 +283,7 @@ class CompressedTier(Tier):
             AllocationError: If the page is already stored, zswap would
                 reject it, or the pool is at capacity.
         """
-        if page_id in self._stored:
+        if self.contains(page_id):
             raise AllocationError(
                 f"page {page_id} already stored in tier {self.name}"
             )
@@ -249,7 +296,11 @@ class CompressedTier(Tier):
         if self.used_pages >= self.capacity_pages:
             raise AllocationError(f"tier {self.name} pool is at capacity")
         handle = self.allocator.store(csize)
-        self._stored[page_id] = _StoredPage(handle=handle, compressed_size=csize)
+        pt = self._table(page_id + 1)
+        pt.ct_owner[page_id] = self._token
+        pt.csize[page_id] = csize
+        pt.obj_id[page_id] = handle.object_id
+        self._resident += 1
         self.stats.pages_in += 1
         self.stats.stores += 1
         self.stats.compressed_bytes += csize
@@ -263,23 +314,33 @@ class CompressedTier(Tier):
             fault: True when removal is a demand fault (counted in tier
                 fault statistics) rather than a daemon migration.
         """
-        try:
-            stored = self._stored.pop(page_id)
-        except KeyError:
+        if not self.contains(page_id):
             raise AllocationError(
                 f"page {page_id} is not stored in tier {self.name}"
-            ) from None
+            )
+        csize, object_id = self._clear_page(page_id)
         latency = (
             self.allocator.mgmt_overhead_ns
             + self.algorithm.decompress_ns()
-            + self._media_stream_ns(stored.compressed_size, write=False)
+            + self._media_stream_ns(csize, write=False)
         )
-        self.allocator.free(stored.handle)
+        self.allocator.free(Handle(self.allocator.name, object_id, csize))
         self.stats.pages_out += 1
-        self.stats.compressed_bytes -= stored.compressed_size
+        self.stats.compressed_bytes -= csize
         if fault:
             self.stats.faults += 1
         return latency
+
+    def _clear_page(self, page_id: int) -> tuple[int, int]:
+        """Drop one page's membership columns; returns (csize, object_id)."""
+        pt = self._pt
+        csize = int(pt.csize[page_id])
+        object_id = int(pt.obj_id[page_id])
+        pt.ct_owner[page_id] = -1
+        pt.csize[page_id] = 0
+        pt.obj_id[page_id] = -1
+        self._resident -= 1
+        return csize, object_id
 
     def pop_page(self, page_id: int) -> int:
         """Free a stored page without the latency math; returns its csize.
@@ -289,9 +350,11 @@ class CompressedTier(Tier):
         at a time, in the caller's order, so the allocator's packing
         trajectory matches the scalar path exactly.
         """
-        stored = self._stored.pop(page_id)
-        self.allocator.free(stored.handle)
-        return stored.compressed_size
+        if not self.contains(page_id):
+            raise KeyError(page_id)
+        csize, object_id = self._clear_page(page_id)
+        self.allocator.free(Handle(self.allocator.name, object_id, csize))
+        return csize
 
     def store_prepared(self, page_id: int, csize: int) -> None:
         """Store with a precomputed csize; admission/capacity pre-checked.
@@ -301,29 +364,80 @@ class CompressedTier(Tier):
         cannot overflow for the whole batch.
         """
         handle = self.allocator.store(csize)
-        self._stored[page_id] = _StoredPage(handle=handle, compressed_size=csize)
+        pt = self._table(page_id + 1)
+        pt.ct_owner[page_id] = self._token
+        pt.csize[page_id] = csize
+        pt.obj_id[page_id] = handle.object_id
+        self._resident += 1
 
-    def store_prepared_bulk(self, page_ids: list[int], csizes: list[int]) -> None:
-        """Exact batched equivalent of :meth:`store_prepared` in order."""
-        handles = self.allocator.store_many(csizes)
-        stored = self._stored
-        for page_id, handle, csize in zip(page_ids, handles, csizes):
-            stored[page_id] = _StoredPage(handle=handle, compressed_size=csize)
+    def store_prepared_bulk(self, page_ids, csizes) -> None:
+        """Exact batched equivalent of :meth:`store_prepared` in order.
 
-    def pop_pages_bulk(self, page_ids: list[int]) -> list[int]:
+        Fully columnar: one id-range store into the pool allocator, then
+        three fancy-indexed column writes -- no Handle or per-page object
+        is constructed anywhere on this path.
+        """
+        pids = np.asarray(page_ids, dtype=np.int64)
+        n = pids.size
+        if n == 0:
+            return
+        cs = np.asarray(csizes, dtype=np.int64)
+        first = self.allocator.store_ids(cs)
+        pt = self._table(int(pids.max()) + 1)
+        pt.ct_owner[pids] = self._token
+        pt.csize[pids] = cs
+        pt.obj_id[pids] = np.arange(first, first + n, dtype=np.int64)
+        self._resident += n
+
+    def _pop_columns(
+        self, page_ids, missing: type[Exception]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate + drop membership for a batch; returns (pids, csizes).
+
+        Raises ``missing(first unstored page id)`` before any mutation.
+        """
+        pt = self._pt
+        pids = np.asarray(page_ids, dtype=np.int64)
+        if pids.size == 0:
+            return pids, np.zeros(0, dtype=np.int64)
+        limit = pt.num_pages if pt is not None else 0
+        valid = (pids >= 0) & (pids < limit)
+        member = np.zeros(pids.size, dtype=bool)
+        if valid.any():
+            member[valid] = pt.ct_owner[pids[valid]] == self._token
+        if not member.all():
+            bad = int(pids[~member][0])
+            if missing is AllocationError:
+                raise AllocationError(
+                    f"page {bad} is not stored in tier {self.name}"
+                )
+            raise missing(bad)
+        cs = pt.csize[pids]
+        oids = pt.obj_id[pids]
+        pt.ct_owner[pids] = -1
+        pt.csize[pids] = 0
+        pt.obj_id[pids] = -1
+        self._resident -= pids.size
+        self.allocator.free_ids(oids, cs)
+        return pids, cs
+
+    def pop_pages_bulk(self, page_ids) -> np.ndarray:
         """Exact batched equivalent of :meth:`pop_page` in order.
 
         Returns:
             The compressed sizes of the popped pages, in call order.
         """
-        pop = self._stored.pop
-        stored = [pop(pid) for pid in page_ids]
-        self.allocator.free_many([s.handle for s in stored])
-        return [s.compressed_size for s in stored]
+        pids = np.asarray(page_ids, dtype=np.int64)
+        if pids.size and np.unique(pids).size != pids.size:
+            # A repeated id fails partway with the preceding pops
+            # committed; keep that per-call behaviour exactly.
+            return np.array(
+                [self.pop_page(int(p)) for p in pids.tolist()], dtype=np.int64
+            )
+        _, cs = self._pop_columns(pids, KeyError)
+        return cs
 
-    def remove_pages_bulk(
-        self, page_ids: list[int], *, fault: bool = False
-    ) -> np.ndarray:
+    def remove_pages_bulk(self, page_ids, *, fault: bool = False) -> np.ndarray:
         """Release many stored pages; returns per-page latencies.
 
         Exact batched equivalent of calling :meth:`remove_page` for each
@@ -331,27 +445,44 @@ class CompressedTier(Tier):
         allocator's page-packing trajectory is unchanged); the latency
         model is evaluated once over the whole batch instead of per call.
         """
-        pop = self._stored.pop
-        entries = []
-        try:
-            for pid in page_ids:
-                entries.append(pop(pid))
-        except KeyError:
-            raise AllocationError(
-                f"page {pid} is not stored in tier {self.name}"
-            ) from None
-        self.allocator.free_many([s.handle for s in entries])
-        csizes = [s.compressed_size for s in entries]
-        total_csize = sum(csizes)
-        n = len(csizes)
+        pids = np.asarray(page_ids, dtype=np.int64)
+        if pids.size and np.unique(pids).size != pids.size:
+            return np.array(
+                [self.remove_page(int(p), fault=fault) for p in pids.tolist()],
+                dtype=np.float64,
+            )
+        _, cs = self._pop_columns(pids, AllocationError)
+        n = cs.size
         self.stats.pages_out += n
-        self.stats.compressed_bytes -= total_csize
+        self.stats.compressed_bytes -= int(cs.sum())
         if fault:
             self.stats.faults += n
         fixed = self.allocator.mgmt_overhead_ns + self.algorithm.decompress_ns()
         return fixed + self.media.read_ns * np.ceil(
-            np.asarray(csizes, dtype=np.float64) / CHUNK_BYTES
+            cs.astype(np.float64) / CHUNK_BYTES
         )
+
+    # -- pickling ------------------------------------------------------------
+
+    def __setstate__(self, state) -> None:
+        if "_stored" not in state:
+            self.__dict__.update(state)
+            return
+        # Pre-SoA pickle: a dict of _StoredPage records.  Rebuild as a
+        # private membership table (the owning system's legacy converter
+        # rebinds it onto the shared table afterwards).
+        stored = state.pop("_stored")
+        self.__dict__.update(state)
+        self._pt = None
+        self._token = 0
+        self._resident = 0
+        if stored:
+            pt = self._table(max(stored) + 1)
+            for page_id, entry in stored.items():
+                pt.ct_owner[page_id] = 0
+                pt.csize[page_id] = entry.compressed_size
+                pt.obj_id[page_id] = entry.handle.object_id
+            self._resident = len(stored)
 
     # -- planning cost ------------------------------------------------------
 

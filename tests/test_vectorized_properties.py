@@ -211,6 +211,127 @@ def test_csize_and_accept_caches_match_scalar(seed, data):
         assert ok == tier.accepts(intrinsic)
 
 
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), data=st.data())
+def test_move_pages_matches_scalar_reference(seed, data):
+    """The batched SoA migration path == the per-page move_page loop."""
+    system = _make_system(seed)
+    rng = np.random.default_rng(seed)
+    _scatter(system, rng)
+    reference = copy.deepcopy(system)
+
+    for _ in range(data.draw(st.integers(1, 5))):
+        region = int(rng.integers(0, system.space.num_regions))
+        dst = int(rng.integers(0, len(system.tiers)))
+        pages = system.space.regions[region].pages()
+        page_ids = np.arange(pages.start, pages.stop, dtype=np.int64)
+        got = system._move_pages(page_ids, dst)
+        want = reference._move_pages_scalar(page_ids, dst)
+        assert np.isclose(got, want, rtol=1e-12)
+
+    assert np.array_equal(system.page_location, reference.page_location)
+    assert np.isclose(
+        system.clock.migration_ns, reference.clock.migration_ns, rtol=1e-12
+    )
+    assert system.migrated_pages == reference.migrated_pages
+    for got_t, want_t in zip(system.tiers, reference.tiers):
+        assert got_t.used_pages == want_t.used_pages
+        assert got_t.stats.snapshot() == want_t.stats.snapshot()
+        if got_t.is_compressed:
+            assert got_t.resident_pages == want_t.resident_pages
+            assert got_t.allocator.stored_bytes == want_t.allocator.stored_bytes
+            assert got_t.allocator.stored_objects == want_t.allocator.stored_objects
+            assert got_t.allocator.pool_pages == want_t.allocator.pool_pages
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_checkpoint_roundtrip_resumes_identically(seed):
+    """Capture mid-run (v2 array path), restore, finish == uninterrupted."""
+    from repro.chaos.checkpoint import capture_session, restore_session
+    from repro.engine.session import Session
+    from repro.engine.spec import ScenarioSpec
+
+    spec = ScenarioSpec(
+        workload="memcached-ycsb",
+        workload_kwargs={
+            "num_pages": 2 * PAGES_PER_REGION,
+            "ops_per_window": 2000,
+        },
+        policy="waterfall",
+        windows=4,
+        seed=seed,
+    )
+    full = Session(spec)
+    for _ in range(4):
+        full.run_window()
+
+    half = Session(spec)
+    for _ in range(2):
+        half.run_window()
+    resumed, _, done = restore_session(capture_session(half))
+    assert done == 2
+    # The restored page table carries the exact columns of the captured
+    # system (the array path is lossless).
+    for name, col in half.system.pt.columns().items():
+        assert np.array_equal(col, getattr(resumed.system.pt, name)), name
+    for _ in range(2):
+        resumed.run_window()
+
+    assert len(resumed.records) == len(full.records)
+    for got, want in zip(resumed.records, full.records):
+        assert np.array_equal(got.placement, want.placement)
+        assert np.array_equal(got.faults, want.faults)
+        assert np.array_equal(got.pool_pages, want.pool_pages)
+        assert got.tco == want.tco
+        assert got.access_ns == want.access_ns
+
+
+def test_checkpoint_v1_fixture_loads_and_resumes_identically():
+    """Backward compat: a pre-SoA (v1) checkpoint restores into the
+    columnar core and finishes byte-identically to a fresh run.
+
+    The fixture was captured with the pre-refactor object-layer code
+    after 3 of 6 windows of the spec below.
+    """
+    from pathlib import Path
+
+    from repro.chaos.checkpoint import load_checkpoint, restore_session
+    from repro.engine.session import Session
+    from repro.engine.spec import ScenarioSpec
+    from repro.mem.stats import tier_rollup
+
+    fixture = Path(__file__).parent / "fixtures" / "checkpoint_v1.ckpt"
+    sess, rows, done = restore_session(load_checkpoint(fixture))
+    assert done == 3
+    assert rows == [{"w": 0}, {"w": 1}, {"w": 2}]
+    for _ in range(sess.spec.windows - done):
+        sess.run_window()
+
+    spec = ScenarioSpec(
+        workload="memcached-ycsb",
+        workload_kwargs={"num_pages": 4096, "ops_per_window": 20_000},
+        policy="waterfall",
+        windows=6,
+        seed=7,
+    )
+    fresh = Session(spec)
+    for _ in range(spec.windows):
+        fresh.run_window()
+
+    assert len(sess.records) == len(fresh.records) == 6
+    for got, want in zip(sess.records, fresh.records):
+        for name in ("recommended", "placement", "pool_pages", "faults", "hotness"):
+            assert np.array_equal(getattr(got, name), getattr(want, name)), name
+        for name in ("tco", "tco_savings", "access_ns", "accesses",
+                     "migration_wall_ns"):
+            assert getattr(got, name) == getattr(want, name), name
+    got_rollup = tier_rollup(sess.system.tiers)
+    want_rollup = tier_rollup(fresh.system.tiers)
+    for name, col in got_rollup.items():
+        assert np.array_equal(col, want_rollup[name]), name
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     n=st.integers(1, 5000),

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Gate a perfbench report against the committed SoA baseline.
+
+CI runners are not the machine the baseline was recorded on, so a raw
+rate comparison would gate on hardware, not on code.  With
+``--normalize-by`` the gate instead compares the *ratio* of the gated
+benchmark to a sibling benchmark from the same run -- both scale with
+machine speed, so their ratio cancels it and what remains is the
+relative cost of the gated path.
+
+Exit status 0 when every gated benchmark is within the allowed
+regression, 1 otherwise.
+
+Usage::
+
+    python tools/perf_gate.py REPORT.json --baseline BENCH_soa.json \
+        --bench fig08_e2e --normalize-by access_batch --max-regression 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _rate(report: dict, bench: str) -> float:
+    try:
+        rate = float(report["current"][bench]["rate"])
+    except KeyError:
+        raise SystemExit(f"benchmark {bench!r} missing from report")
+    if rate <= 0:
+        raise SystemExit(f"benchmark {bench!r} has non-positive rate {rate}")
+    return rate
+
+
+def gate(
+    report: dict,
+    baseline: dict,
+    bench: str,
+    max_regression: float,
+    normalize_by: str | None,
+) -> tuple[bool, str]:
+    """Check one benchmark; returns (ok, human-readable line)."""
+    score_now = _rate(report, bench)
+    score_base = _rate(baseline, bench)
+    label = f"{bench}"
+    if normalize_by is not None:
+        score_now /= _rate(report, normalize_by)
+        score_base /= _rate(baseline, normalize_by)
+        label += f" / {normalize_by}"
+    change = score_now / score_base - 1.0
+    ok = change >= -max_regression
+    verdict = "ok" if ok else f"REGRESSION > {max_regression:.0%}"
+    return ok, (
+        f"{label}: {score_now:.4g} vs baseline {score_base:.4g} "
+        f"({change:+.1%}) -- {verdict}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="perfbench report JSON to check")
+    parser.add_argument(
+        "--baseline", default="BENCH_soa.json", help="committed baseline report"
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        help="benchmark(s) to gate (default: fig08_e2e)",
+    )
+    parser.add_argument(
+        "--normalize-by",
+        default=None,
+        help="sibling benchmark whose rate cancels machine speed",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.10,
+        help="largest tolerated fractional slowdown (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    failed = False
+    for bench in args.bench or ["fig08_e2e"]:
+        ok, line = gate(
+            report, baseline, bench, args.max_regression, args.normalize_by
+        )
+        print(line)
+        failed |= not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
