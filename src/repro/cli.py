@@ -337,21 +337,30 @@ def cmd_fleet(args) -> int:
         FleetRunner,
         FleetScheduler,
         FleetSpec,
+        SolveCacheConfig,
         SolverServiceConfig,
         fleet_rollup,
         node_rows,
+        rack_rows,
         slowdown_distribution,
     )
     from repro.fleet.metrics import export_fleet_events, solver_tax_rows
 
     try:
+        policies = None
+        if args.policies:
+            policies = tuple(
+                p.strip() for p in args.policies.split(",") if p.strip()
+            )
         spec = FleetSpec(
             nodes=args.nodes,
             profile=args.profile,
             mix=args.mix,
             policy=args.policy,
+            policies=policies,
             windows=args.windows,
             seed=args.seed,
+            homogeneous=args.homogeneous,
         )
         service = SolverServiceConfig(
             deployment=args.solver,
@@ -361,6 +370,11 @@ def cmd_fleet(args) -> int:
         scheduler = (
             FleetScheduler(budget_alpha=args.dram_budget)
             if args.dram_budget is not None
+            else None
+        )
+        cache = (
+            SolveCacheConfig(quantum=args.cache_quantum)
+            if args.solve_cache
             else None
         )
     except (KeyError, ValueError) as exc:
@@ -386,14 +400,20 @@ def cmd_fleet(args) -> int:
         except (ValueError, TypeError) as exc:
             print(f"invalid fault plan {args.faults!r}: {exc}", file=sys.stderr)
             return 2
-    runner = FleetRunner(
-        spec,
-        jobs=args.jobs,
-        service=service,
-        scheduler=scheduler,
-        obs=ObsOptions(metrics=True, tracing=bool(args.trace)),
-        chaos=chaos,
-    )
+    try:
+        runner = FleetRunner(
+            spec,
+            jobs=args.jobs,
+            service=service,
+            scheduler=scheduler,
+            obs=ObsOptions(metrics=True, tracing=bool(args.trace)),
+            chaos=chaos,
+            cache=cache,
+            rack_size=args.rack_size,
+        )
+    except ValueError as exc:
+        print(f"invalid fleet configuration: {exc}", file=sys.stderr)
+        return 2
     result = runner.run()
 
     print(format_table(node_rows(result), title=f"Fleet nodes ({args.nodes})"))
@@ -406,6 +426,21 @@ def cmd_fleet(args) -> int:
             format_table(
                 solver_tax_rows(result), title="Solver-service tax per node"
             )
+        )
+    if len(result.rack_metrics) > 1:
+        print(
+            format_table(
+                rack_rows(result),
+                title=f"Racks ({args.rack_size} nodes each)",
+            )
+        )
+    replay = result.cache_replay
+    if replay is not None:
+        print(
+            f"solve cache: {replay.requests} requests, {replay.hits} hits "
+            f"({100.0 * replay.hit_rate:.1f} %), {replay.misses} misses, "
+            f"{replay.batched} batched, {replay.evictions} evictions; "
+            f"modeled solve time cut {100.0 * replay.modeled_saving:.1f} %"
         )
     print(
         f"aggregate: {rollup['tco_savings_pct']:.1f} % TCO saved "
@@ -600,6 +635,45 @@ def cmd_perfbench(args) -> int:
     return 0
 
 
+def cmd_fleetbench(args) -> int:
+    from repro.bench.fleetbench import fleet_report_rows, run_fleetbench
+
+    if args.out is None:
+        out = None if args.smoke else "BENCH_fleet.json"
+    else:
+        out = None if args.out == "-" else args.out
+    report = run_fleetbench(
+        out=out,
+        baseline=args.baseline,
+        smoke=args.smoke,
+        rebaseline=args.rebaseline,
+        jobs=args.jobs,
+        seed=args.seed,
+    )
+    print(format_table(fleet_report_rows(report), title="Fleet-scale benchmarks"))
+    scale = report["current"]["fleet_scale"]
+    print(
+        f"solve cache: {scale['cache_speedup']:.2f}x fleet wall-clock "
+        f"({scale['wall_s_cache_off']:.2f}s off vs "
+        f"{scale['wall_s_cache_on']:.2f}s on, "
+        f"{100.0 * scale['replay']['hit_rate']:.1f}% shared-cache hit rate)"
+    )
+    hyper = report["current"]["hyperscale"]
+    print(
+        f"hyperscale: {hyper['nodes']} nodes in {hyper['wall_s']:.1f}s "
+        f"({hyper['racks']} racks, merged hit rate "
+        f"{100.0 * hyper['merged_cache_hit_rate']:.1f}%)"
+    )
+    # The tiny fleet_scale smoke run only batches (too few windows for
+    # cross-window repeats); the hyperscale smoke fleet must truly hit.
+    if args.smoke and hyper["replay"]["hits"] <= 0:
+        print("FAIL: the smoke preset expects shared-cache hits")
+        return 1
+    if out:
+        print(f"report written to {out}")
+    return 0
+
+
 def cmd_workloads(_args) -> int:
     print(format_table(experiments.tab02_workloads(), title="Workloads (Table 2)"))
     return 0
@@ -725,6 +799,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="global alpha budget; allocates per-node knobs when set",
+    )
+    fleet.add_argument(
+        "--solve-cache",
+        action="store_true",
+        help="memoize ILP solves on quantized problem signatures",
+    )
+    fleet.add_argument(
+        "--cache-quantum",
+        type=float,
+        default=0.25,
+        help="signature quantization step (0 = exact-value signatures)",
+    )
+    fleet.add_argument(
+        "--rack-size",
+        type=int,
+        default=32,
+        help="nodes per rack in the hierarchical metrics rollup",
+    )
+    fleet.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated per-node policy cycle (overrides --policy)",
+    )
+    fleet.add_argument(
+        "--homogeneous",
+        action="store_true",
+        help="give every node the same seed (a fleet of identical replicas)",
     )
     fleet.add_argument(
         "--out",
@@ -856,6 +957,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perfbench.add_argument("--seed", type=int, default=0)
     perfbench.set_defaults(func=cmd_perfbench)
+
+    fleetbench = sub.add_parser(
+        "fleetbench", help="run the fleet-scale solve-cache benchmarks"
+    )
+    fleetbench.add_argument(
+        "--out",
+        default=None,
+        help="report path (default BENCH_fleet.json, or unwritten with "
+        "--smoke); '-' skips writing",
+    )
+    fleetbench.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report to compare against (default: --out if present)",
+    )
+    fleetbench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke preset: small fleets, asserts the cache hits",
+    )
+    fleetbench.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="store this run as the new reference",
+    )
+    fleetbench.add_argument(
+        "--jobs", type=int, default=4, help="worker processes for hyperscale"
+    )
+    fleetbench.add_argument("--seed", type=int, default=7)
+    fleetbench.set_defaults(func=cmd_fleetbench)
 
     sub.add_parser("workloads", help="print the workload registry").set_defaults(
         func=cmd_workloads

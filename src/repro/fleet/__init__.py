@@ -36,19 +36,33 @@ pin them):
   crash happened.
 """
 
-from repro.fleet.metrics import fleet_rollup, node_rows, slowdown_distribution
+from repro.fleet.metrics import (
+    fleet_rollup,
+    node_rows,
+    rack_rows,
+    slowdown_distribution,
+)
 from repro.fleet.runner import (
     ChaosOptions,
     FleetResult,
     FleetRunner,
     NodeResult,
     ObsOptions,
+    merge_metrics_hierarchical,
+    service_arrival_ranks,
 )
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.service import ServicedAnalyticalModel, SolverServiceConfig
+from repro.fleet.solvecache import (
+    CacheReplay,
+    SolveCache,
+    SolveCacheConfig,
+    replay_shared_cache,
+)
 from repro.fleet.spec import FleetSpec, NodeSpec
 
 __all__ = [
+    "CacheReplay",
     "ChaosOptions",
     "FleetResult",
     "FleetRunner",
@@ -58,8 +72,14 @@ __all__ = [
     "NodeSpec",
     "ObsOptions",
     "ServicedAnalyticalModel",
+    "SolveCache",
+    "SolveCacheConfig",
     "SolverServiceConfig",
     "fleet_rollup",
+    "merge_metrics_hierarchical",
     "node_rows",
+    "rack_rows",
+    "replay_shared_cache",
+    "service_arrival_ranks",
     "slowdown_distribution",
 ]

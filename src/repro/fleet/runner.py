@@ -40,6 +40,12 @@ from repro.fleet.service import (
     ServiceStats,
     SolverServiceConfig,
 )
+from repro.fleet.solvecache import (
+    CacheReplay,
+    SolveCacheConfig,
+    record_replay_metrics,
+    replay_shared_cache,
+)
 from repro.fleet.spec import FleetSpec, NodeSpec
 from repro.obs import MetricsRegistry, Observability, StreamSink
 from repro.obs.logs import get_logger
@@ -146,8 +152,17 @@ class FleetResult:
         nodes: Per-node results, in node-id order.
         jobs: Worker processes used.
         wall_s: Real wall-clock seconds of the execution phase.
-        metrics: Fleet-wide registry: every node's snapshot folded in
-            node-id order, so the merge is identical for any ``jobs``.
+        metrics: Fleet-wide (cluster) registry: node snapshots folded
+            rack by rack in node-id order -- bit-identical to a flat
+            node-order fold (the merge is associative and
+            order-preserving) and identical for any ``jobs``.
+        rack_metrics: Intermediate rack-level registries, ``rack_size``
+            nodes each in node-id order; ``O(nodes / rack_size)`` of
+            them, so a 10k-node cluster rolls up hierarchically instead
+            of through one flat fold.
+        rack_size: Nodes per rack used for the rollup.
+        cache_replay: Deterministic shared-solve-cache replay outcome
+            (``None`` when the cache was off).
     """
 
     spec: FleetSpec
@@ -157,6 +172,9 @@ class FleetResult:
     metrics: MetricsRegistry = field(
         default_factory=lambda: MetricsRegistry(enabled=True)
     )
+    rack_metrics: list[MetricsRegistry] = field(default_factory=list)
+    rack_size: int = 32
+    cache_replay: CacheReplay | None = None
 
     @property
     def summaries(self) -> list[RunSummary]:
@@ -182,7 +200,27 @@ class FleetResult:
         return sum(node.resumes for node in self.nodes)
 
 
-def _make_node_model(spec: NodeSpec, service: SolverServiceConfig):
+def service_arrival_ranks(specs: list[NodeSpec]) -> dict[int, int]:
+    """Each service-using node's arrival position in a window batch.
+
+    Only analytical nodes contact the shared solver service, so the
+    ``i``-th *analytical* node in node-id order occupies queue slot
+    ``i`` -- a mixed ``am``/``waterfall`` fleet must not charge phantom
+    slots for nodes that never send a request.
+    """
+    ranks: dict[int, int] = {}
+    for spec in specs:
+        if spec.policy in _ANALYTICAL:
+            ranks[spec.node_id] = len(ranks)
+    return ranks
+
+
+def _make_node_model(
+    spec: NodeSpec,
+    service: SolverServiceConfig,
+    arrival_rank: int | None = None,
+    cache: SolveCacheConfig | None = None,
+):
     """Build the node's placement model, service-backed when analytical."""
     if spec.policy in _ANALYTICAL:
         if spec.policy == "am-tco":
@@ -194,7 +232,12 @@ def _make_node_model(spec: NodeSpec, service: SolverServiceConfig):
                 raise ValueError("policy 'am' needs a per-node alpha")
             knob, name = Knob(spec.alpha), None
         return ServicedAnalyticalModel(
-            knob, service, node_id=spec.node_id, name=name
+            knob,
+            service,
+            node_id=spec.node_id,
+            name=name,
+            arrival_rank=arrival_rank,
+            cache=cache,
         )
     return make_policy(
         spec.policy,
@@ -205,7 +248,14 @@ def _make_node_model(spec: NodeSpec, service: SolverServiceConfig):
 
 
 def _run_node(
-    payload: tuple[NodeSpec, SolverServiceConfig, ObsOptions, ChaosOptions]
+    payload: tuple[
+        NodeSpec,
+        SolverServiceConfig,
+        ObsOptions,
+        ChaosOptions,
+        SolveCacheConfig | None,
+        int | None,
+    ]
 ) -> NodeResult:
     """Worker entry point: simulate one node end to end.
 
@@ -223,8 +273,10 @@ def _run_node(
     loop runs here (instead of ``session.run``) so a crash can discard
     the live session and resume from the last checkpoint.
     """
-    spec, service, obs_options, chaos = payload
-    model = _make_node_model(spec, service)
+    spec, service, obs_options, chaos, cache, arrival_rank = payload
+    model = _make_node_model(
+        spec, service, arrival_rank=arrival_rank, cache=cache
+    )
     injector = chaos.injector_for(spec.node_id)
 
     def _make_obs() -> Observability:
@@ -265,10 +317,22 @@ def _run_node(
     events = list(getattr(inner, "events", ()))
     stats = getattr(inner, "stats", None) or ServiceStats()
     # The engine's per-window rows, tagged with node identity and the
-    # solver-service view of each window.
+    # solver-service view of each window.  Events are keyed by their
+    # *profile window*, never by list position: under chaos a degraded
+    # window emits no request (and a retried one may emit several), so
+    # positional lookup would shift queue/fallback data onto the wrong
+    # rows.  Last event wins; earlier ones for the same window are
+    # retries, surfaced in the row's ``solver_attempts``.
+    event_by_window: dict[int, ServiceEvent] = {}
+    attempts_by_window: dict[int, int] = {}
+    for event in events:
+        event_by_window[event.window] = event
+        attempts_by_window[event.window] = (
+            attempts_by_window.get(event.window, 0) + 1
+        )
     rows = []
     for window, data in window_payloads:
-        event = events[window] if window < len(events) else None
+        event = event_by_window.get(window)
         rows.append(
             {
                 "node": spec.node_id,
@@ -278,6 +342,8 @@ def _run_node(
                 **data,
                 "queue_ms": (event.queue_ns / 1e6) if event else 0.0,
                 "fallback": bool(event.fallback) if event else False,
+                "cached": bool(event.cached) if event else False,
+                "solver_attempts": attempts_by_window.get(window, 0),
             }
         )
     obs = session.obs
@@ -374,6 +440,31 @@ def _run_node_with_checkpoints(
     return session.run(0), session, resumes
 
 
+def merge_metrics_hierarchical(
+    snapshots: list[dict], rack_size: int
+) -> tuple[MetricsRegistry, list[MetricsRegistry]]:
+    """Fold node metric snapshots rack by rack into a cluster registry.
+
+    Nodes ``[i * rack_size, (i + 1) * rack_size)`` (node-id order) form
+    rack ``i``; each rack folds its nodes, then the cluster folds the
+    rack snapshots in rack order.  Because ``merge_snapshot`` is
+    associative and both folds preserve node-id order, the cluster
+    registry -- including label-creation order, and therefore exporter
+    byte output -- is identical to a flat fold, while a 10k-node merge
+    becomes ``O(racks)`` shallow folds over pre-aggregated snapshots
+    (the shape a real rack-aggregator deployment would ship home).
+    """
+    cluster = MetricsRegistry(enabled=True)
+    racks: list[MetricsRegistry] = []
+    for start in range(0, len(snapshots), rack_size):
+        rack = MetricsRegistry(enabled=True)
+        for snapshot in snapshots[start : start + rack_size]:
+            rack.merge_snapshot(snapshot)
+        racks.append(rack)
+        cluster.merge_snapshot(rack.snapshot())
+    return cluster, racks
+
+
 class FleetRunner:
     """Execute a fleet spec across worker processes.
 
@@ -391,6 +482,12 @@ class FleetRunner:
         obs: Per-worker observability switches (metrics on by default;
             tracing off because spans are bulky over IPC).
         chaos: Fleet-level fault-injection switches; default: chaos off.
+        cache: Solve-cache configuration; ``None`` (default) solves
+            every analytical request, a
+            :class:`~repro.fleet.solvecache.SolveCacheConfig` memoizes
+            by quantized problem signature and replays the modeled
+            shared cache during the merge.
+        rack_size: Nodes per rack in the hierarchical metrics rollup.
     """
 
     def __init__(
@@ -404,10 +501,14 @@ class FleetRunner:
         chunksize: int | None = None,
         obs: ObsOptions | None = None,
         chaos: ChaosOptions | None = None,
+        cache: SolveCacheConfig | None = None,
+        rack_size: int = 32,
         **spec_kwargs,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if rack_size < 1:
+            raise ValueError("rack_size must be >= 1")
         if spec is None:
             if nodes is None:
                 raise ValueError("pass a FleetSpec or nodes=N")
@@ -421,6 +522,8 @@ class FleetRunner:
         self.chunksize = chunksize
         self.obs = obs or ObsOptions()
         self.chaos = chaos or ChaosOptions()
+        self.cache = cache
+        self.rack_size = rack_size
 
     def node_specs(self) -> list[NodeSpec]:
         """The expanded (and scheduler-adjusted) per-node specs."""
@@ -431,9 +534,12 @@ class FleetRunner:
 
     def run(self) -> FleetResult:
         """Simulate every node and merge results in node order."""
+        specs = self.node_specs()
+        ranks = service_arrival_ranks(specs)
         payloads = [
-            (s, self.service, self.obs, self.chaos)
-            for s in self.node_specs()
+            (s, self.service, self.obs, self.chaos, self.cache,
+             ranks.get(s.node_id))
+            for s in specs
         ]
         jobs = min(self.jobs, len(payloads))
         _log.info(
@@ -456,12 +562,24 @@ class FleetRunner:
                     pool.map(_run_node, payloads, chunksize=chunksize)
                 )
         wall_s = time.perf_counter() - start
-        # Fold worker registries in node-id order: the node set and each
-        # node's metrics are independent of `jobs`, so the merged
-        # registry is too (volatile wall-time metrics aside).
-        merged = MetricsRegistry(enabled=True)
-        for node in results:
-            merged.merge_snapshot(node.metrics)
+        # Hierarchical rack -> cluster rollup in node-id order.  The
+        # merge is associative and order-preserving, so the cluster
+        # registry is bit-identical to a flat node-order fold -- and
+        # identical for any `jobs` (volatile wall-time metrics aside).
+        merged, racks = merge_metrics_hierarchical(
+            [node.metrics for node in results], self.rack_size
+        )
+        replay = None
+        if self.cache is not None:
+            replay = replay_shared_cache(
+                [
+                    (ranks.get(node.spec.node_id, node.spec.node_id),
+                     node.events)
+                    for node in results
+                ],
+                self.cache,
+            )
+            record_replay_metrics(merged, replay)
         _log.info("fleet run complete in %.2f s wall", wall_s)
         return FleetResult(
             spec=self.spec,
@@ -469,4 +587,7 @@ class FleetRunner:
             jobs=jobs,
             wall_s=wall_s,
             metrics=merged,
+            rack_metrics=racks,
+            rack_size=self.rack_size,
+            cache_replay=replay,
         )

@@ -73,6 +73,47 @@ class FleetScheduler:
             return table[spec.workload]
         return DEFAULT_PRIORITIES.get(spec.workload, 1.0)
 
+    def _waterfill(
+        self, base: dict[int, float], weights: dict[int, float]
+    ) -> dict[int, float]:
+        """Project ``base`` shapes onto the budget's weighted mean.
+
+        Uniform multiplicative scaling preserves the relative shape of
+        ``base``; nodes whose scaled value leaves ``[min_alpha,
+        max_alpha]`` are clamped and removed from the pool, and the
+        remaining budget mass is re-scaled over the free nodes --
+        iterating until no node saturates.  Whenever the budget mean is
+        reachable inside the clamp box (and some free node has positive
+        base), the returned allocation's weighted mean over *these*
+        nodes hits ``budget_alpha``.
+        """
+        total_weight = sum(weights.values())
+        alphas = {nid: 0.0 for nid in base}
+        free = set(base)
+        mass = self.budget_alpha * total_weight
+        for _ in range(len(base) + 1):
+            if not free:
+                break
+            denom = sum(weights[n] * base[n] for n in sorted(free))
+            scale = mass / denom if denom else 0.0
+            clamped = []
+            for nid in sorted(free):
+                raw = base[nid] * scale
+                if raw <= self.min_alpha or raw >= self.max_alpha:
+                    alphas[nid] = min(
+                        self.max_alpha, max(self.min_alpha, raw)
+                    )
+                    clamped.append(nid)
+            if not clamped:
+                for nid in free:
+                    alphas[nid] = base[nid] * scale
+                break
+            for nid in clamped:
+                free.discard(nid)
+                mass -= alphas[nid] * weights[nid]
+            mass = max(0.0, mass)
+        return alphas
+
     def allocate(self, specs: list[NodeSpec]) -> dict[int, Knob]:
         """Per-node knobs whose weighted mean meets the budget.
 
@@ -83,35 +124,9 @@ class FleetScheduler:
             raise ValueError("need at least one node spec")
         weights = {s.node_id: s.memory_gb for s in specs}
         priorities = {s.node_id: self._priority(s) for s in specs}
-        total_weight = sum(weights.values())
-        budget_mass = self.budget_alpha * total_weight
-
         # Water-fill: proportional-to-priority shares, iteratively
         # clamping saturated nodes and re-scaling the free ones.
-        alphas = {nid: 0.0 for nid in weights}
-        free = set(weights)
-        mass = budget_mass
-        for _ in range(len(specs) + 1):
-            if not free:
-                break
-            denom = sum(weights[n] * priorities[n] for n in free)
-            scale = mass / denom if denom else 0.0
-            clamped = []
-            for nid in free:
-                raw = priorities[nid] * scale
-                if raw <= self.min_alpha or raw >= self.max_alpha:
-                    alphas[nid] = min(
-                        self.max_alpha, max(self.min_alpha, raw)
-                    )
-                    clamped.append(nid)
-            if not clamped:
-                for nid in free:
-                    alphas[nid] = priorities[nid] * scale
-                break
-            for nid in clamped:
-                free.discard(nid)
-                mass -= alphas[nid] * weights[nid]
-            mass = max(0.0, mass)
+        alphas = self._waterfill(priorities, weights)
         return {nid: Knob.clamped(a) for nid, a in alphas.items()}
 
     def apply(self, specs: list[NodeSpec]) -> list[NodeSpec]:
@@ -135,29 +150,30 @@ class FleetScheduler:
             target_slowdown: The fleet-wide SLA.
 
         Returns:
-            Re-projected ``node_id -> Knob`` allocation.
+            Re-projected ``node_id -> Knob`` allocation whose weighted
+            mean over the rebalanced nodes meets ``budget_alpha``
+            whenever that mean is reachable inside the clamp range.
         """
-        weights = {s.node_id: s.memory_gb for s in specs}
-        total_weight = sum(weights.values())
+        fleet_weights = {s.node_id: s.memory_gb for s in specs}
         proposed = {}
-        for nid, alpha in alphas.items():
+        for nid in sorted(alphas):
+            if nid not in fleet_weights:
+                continue  # stale node: not part of this fleet anymore
             controller = SLOController(
                 target_slowdown=target_slowdown,
-                alpha=alpha,
+                alpha=alphas[nid],
                 min_alpha=self.min_alpha,
                 max_alpha=self.max_alpha,
             )
             proposed[nid] = controller.observe(slowdowns.get(nid, 0.0)).alpha
-        # Project back onto the budget: uniform multiplicative scaling of
-        # the proposal keeps its relative shape while restoring the
-        # weighted mean.
-        mean = (
-            sum(proposed[n] * weights[n] for n in proposed) / total_weight
-        )
-        scale = self.budget_alpha / mean if mean > 0 else 1.0
-        return {
-            nid: Knob.clamped(
-                min(self.max_alpha, max(self.min_alpha, a * scale))
-            )
-            for nid, a in proposed.items()
-        }
+        if not proposed:
+            return {}
+        # Project back onto the budget over the nodes actually being
+        # rebalanced: normalizing by the full fleet's weight when only a
+        # subset is present would skew the mean low and over-allocate,
+        # and a single post-scale clamp would silently break the
+        # projection whenever any node saturates -- so re-project
+        # iteratively, clamping and re-scaling like `allocate`.
+        weights = {nid: fleet_weights[nid] for nid in proposed}
+        alphas_out = self._waterfill(proposed, weights)
+        return {nid: Knob.clamped(a) for nid, a in alphas_out.items()}

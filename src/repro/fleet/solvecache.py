@@ -1,0 +1,367 @@
+"""Batched, memoizing solve cache for the fleet solver service.
+
+At datacenter scale thousands of nodes run *similar* workloads, so the
+shared solver service should rarely pay the full ILP: most window
+requests can be answered from a cache of previous solutions keyed by a
+quantized signature of the placement problem (the hyperscale framing of
+PAPERS.md "Streamlining CXL Adoption for Hyperscale Efficiency").  The
+cache has three deterministic layers:
+
+**Signatures** (:meth:`repro.solver.problem.PlacementProblem.quantize`)
+bucket the per-tier penalty/cost columns and the budget coarsely, so two
+nodes whose hotness histograms differ only by sampling noise produce the
+same signature.  Crucially the *canonical problem* is reconstructed from
+the buckets alone: the memoized solution is a pure function of the
+signature, so any process can recompute it bit-identically and a cache
+hit can never change results relative to a recompute.
+
+**Memoization** happens at two scopes:
+
+* a *node-local* memo inside each
+  :class:`~repro.fleet.service.ServicedAnalyticalModel` -- hits, misses,
+  bypasses and evictions there depend only on the node's own window
+  stream, so they are part of the deterministic per-node accounting
+  (``jobs=1 == jobs=J``);
+* a *worker-process* cache shared by every node a worker simulates --
+  a pure wall-clock optimization.  Because a hit returns exactly what a
+  recompute would, sharing is invisible to results; its counters are
+  declared ``volatile``.
+
+**The shared-service model** (:func:`replay_shared_cache`) replays every
+node's signature stream in virtual-time arrival order -- window by
+window, nodes by arrival rank -- against one simulated service cache
+with per-window batch semantics: an entry populated by a miss in window
+``w`` becomes visible in window ``w + 1``; a request in the *same*
+window batch whose signature matches an in-flight miss is charged a
+modeled *batched-solve* share of that one solve, not a hit.  The replay
+runs in the (deterministic, node-ordered) merge phase, so its
+``repro_solver_cache_*`` counters are identical for any ``jobs``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.solver import PlacementProblem, Solution, solve
+from repro.solver.registry import resolve_backend
+
+#: Modeled fixed cost of a cache lookup round (hashing + table probe +
+#: response marshalling), independent of instance size.
+CACHE_HIT_BASE_NS = 20_000.0
+
+#: Modeled per-(region, tier)-cell signature hashing cost.  Three orders
+#: of magnitude below ILP_NS_PER_CELL: hashing a histogram is cheap.
+CACHE_HIT_NS_PER_CELL = 40.0
+
+
+def modeled_hit_ns(num_regions: int, num_tiers: int) -> float:
+    """Deterministic service-time model for one cache-served request."""
+    return CACHE_HIT_BASE_NS + CACHE_HIT_NS_PER_CELL * num_regions * num_tiers
+
+
+@dataclass(frozen=True)
+class SolveCacheConfig:
+    """How placement problems are fingerprinted and memoized.
+
+    Attributes:
+        quantum: Bucket width of the signature quantization, as a
+            fraction of each column's (geometrically bucketed) scale.
+            ``0`` keys the cache on exact float payloads -- hits then
+            require bit-identical problems, and cache-on placements are
+            bit-identical to cache-off.  Coarser quanta trade placement
+            exactness for hit rate.
+        max_entries: LRU capacity of each memo scope (node-local memo,
+            worker cache, and the modeled shared-service cache).
+    """
+
+    quantum: float = 0.25
+    max_entries: int = 4096
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quantum < 1.0:
+            raise ValueError("quantum must be in [0, 1)")
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+
+
+#: Worker-process shared cache: signature key -> canonical Solution.
+#: Lives at module scope so a ProcessPoolExecutor worker reuses it across
+#: every node (and chunk) it simulates.  Safe because entries are pure
+#: functions of their keys; bounded by the config's max_entries.
+_WORKER_CACHE: OrderedDict[tuple, Solution] = OrderedDict()
+
+
+def reset_worker_cache() -> None:
+    """Drop the process-wide solution cache (tests/benchmarks)."""
+    _WORKER_CACHE.clear()
+
+
+class SolveCache:
+    """One node's memoizing front end to the solver.
+
+    Args:
+        config: Quantization and capacity knobs.
+        backend: Solver backend the service runs for misses.
+
+    The node-local accounting (``hits`` / ``misses`` / ``bypasses`` /
+    ``evictions``) depends only on this node's own problem stream, so it
+    is deterministic regardless of how the fleet is executed.  Worker
+    cache reuse is tracked separately (``worker_hits``) and is *not*
+    deterministic -- it depends on which nodes share a worker process.
+    """
+
+    def __init__(self, config: SolveCacheConfig, backend: str = "auto") -> None:
+        self.config = config
+        self.backend = backend
+        self._memo: OrderedDict[str, Solution] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.evictions = 0
+        self.worker_hits = 0
+
+    def serve(
+        self, problem: PlacementProblem, obs=None, miss_ok: bool = True
+    ) -> tuple[Solution | None, str, str]:
+        """Serve ``problem``; returns ``(solution, signature, kind)``.
+
+        ``kind`` is one of:
+
+        * ``"hit"`` -- the node-local memo held the signature; the
+          memoized canonical solution is reused, re-evaluated on the
+          exact instance (objective/cost/feasibility always report
+          against the real problem).
+        * ``"miss"`` -- the canonical instance was solved (possibly via
+          the worker cache) and memoized.
+        * ``"bypass"`` -- a canonical solution existed or was computed
+          but is budget-infeasible on the exact instance (the budget
+          drifted inside its bucket); the exact problem was solved
+          instead and nothing was memoized.
+        * ``"timeout"`` -- ``miss_ok`` was False (the caller's deadline
+          model would expire before a fresh solve) and the memo had no
+          entry; ``solution`` is ``None`` and the caller falls back.
+        """
+        signature, canonical = problem.quantize(self.config.quantum)
+        cached = self._memo.get(signature)
+        if cached is not None:
+            self._memo.move_to_end(signature)
+            solution = _reproject(cached, problem)
+            if solution is not None:
+                self.hits += 1
+                return solution, signature, "hit"
+            self.bypasses += 1
+            return (
+                solve(problem, backend=self.backend, obs=obs),
+                signature,
+                "bypass",
+            )
+        if not miss_ok:
+            return None, signature, "timeout"
+        canon_solution = self._canonical_solve(signature, canonical, obs)
+        solution = _reproject(canon_solution, problem)
+        if solution is None:
+            self.bypasses += 1
+            return (
+                solve(problem, backend=self.backend, obs=obs),
+                signature,
+                "bypass",
+            )
+        self.misses += 1
+        self._memo[signature] = canon_solution
+        if len(self._memo) > self.config.max_entries:
+            self._memo.popitem(last=False)
+            self.evictions += 1
+        return solution, signature, "miss"
+
+    def _canonical_solve(
+        self, signature: str, canonical: PlacementProblem, obs
+    ) -> Solution:
+        """Solve the canonical instance, via the worker cache if warm.
+
+        On worker-cache reuse the deterministic ``repro_solves_total``
+        counter is still bumped (the node *logically* solved; only the
+        wall clock was skipped), so merged fleet metrics stay identical
+        for any ``jobs``.  Wall-time histograms are volatile and skipped.
+        """
+        key = (self.config.quantum, self.backend, signature)
+        cached = _WORKER_CACHE.get(key)
+        if cached is not None:
+            _WORKER_CACHE.move_to_end(key)
+            self.worker_hits += 1
+            if obs is not None and obs.registry.enabled:
+                obs.registry.counter(
+                    "repro_solves_total", "Placement solves, by backend"
+                ).inc(backend=resolve_backend(canonical, self.backend))
+                obs.registry.counter(
+                    "repro_solver_cache_worker_hits_total",
+                    "Solves skipped via the worker-process solution cache "
+                    "(wall-clock only; depends on worker chunking)",
+                    volatile=True,
+                ).inc()
+            return cached
+        solution = solve(canonical, backend=self.backend, obs=obs)
+        _WORKER_CACHE[key] = solution
+        if len(_WORKER_CACHE) > self.config.max_entries:
+            _WORKER_CACHE.popitem(last=False)
+        return solution
+
+
+def _reproject(canonical: Solution, problem: PlacementProblem) -> Solution | None:
+    """The canonical assignment re-evaluated on the exact instance.
+
+    Returns ``None`` when the assignment violates the exact budget or
+    capacities (the caller then bypasses the cache).  The returned
+    solution never carries measured wall time -- a reused solve cost
+    nothing locally.
+    """
+    if not problem.is_feasible(canonical.assignment):
+        return None
+    objective, cost = problem.evaluate(canonical.assignment)
+    return Solution(
+        assignment=canonical.assignment,
+        objective=objective,
+        cost=cost,
+        feasible=True,
+        backend=canonical.backend,
+        solve_wall_ns=0,
+        optimal=canonical.optimal,
+        extras={**canonical.extras, "solve_cache": True},
+    )
+
+
+# -- the modeled shared-service cache (merge-phase replay) -------------------
+
+
+@dataclass
+class CacheReplay:
+    """Outcome of replaying the fleet's requests against one shared cache.
+
+    Attributes:
+        hits: Requests answered from an entry populated by an earlier
+            window's miss (any node's).
+        misses: Requests that paid a full modeled ILP solve.
+        batched: Requests sharing a window batch with the miss that
+            populates their entry; each is charged an equal share of
+            that one modeled solve.
+        evictions: LRU evictions of the shared cache.
+        requests: Total requests replayed.
+        solve_ns_charged: Total modeled solve nanoseconds the shared
+            service would charge (misses at full price, batch members
+            splitting one solve, hits at lookup price).
+        solve_ns_uncached: The same total with the cache disabled
+            (every request at full modeled ILP price).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    batched: int = 0
+    evictions: int = 0
+    requests: int = 0
+    solve_ns_charged: float = 0.0
+    solve_ns_uncached: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests not paying a dedicated solve."""
+        if self.requests == 0:
+            return 0.0
+        return (self.hits + self.batched) / self.requests
+
+    @property
+    def modeled_saving(self) -> float:
+        """Fraction of modeled solve time the shared cache removes."""
+        if self.solve_ns_uncached <= 0:
+            return 0.0
+        return 1.0 - self.solve_ns_charged / self.solve_ns_uncached
+
+
+def replay_shared_cache(
+    streams: "list[tuple[int, list]]", config: SolveCacheConfig
+) -> CacheReplay:
+    """Replay per-node request streams against one modeled shared cache.
+
+    Args:
+        streams: ``(arrival_rank, events)`` per node, where each event
+            carries ``window``, ``signature`` and ``solve_ns`` (see
+            :class:`~repro.fleet.service.ServiceEvent`).  Events without
+            a signature (cache off, greedy fallbacks) are skipped.
+        config: Shared-cache capacity (quantization already happened at
+            signature time).
+
+    Virtual-time order is total and spec-derived -- ``(window, rank)``
+    -- so the replay is identical however the fleet was executed.
+    """
+    requests: list[tuple[int, int, str, float]] = []
+    for rank, events in streams:
+        for event in events:
+            if getattr(event, "signature", ""):
+                requests.append(
+                    (event.window, rank, event.signature, event.solve_ns)
+                )
+    requests.sort(key=lambda r: (r[0], r[1]))
+
+    replay = CacheReplay()
+    cache: OrderedDict[str, bool] = OrderedDict()
+    window = None
+    batch: dict[str, int] = {}
+    batch_cost: dict[str, float] = {}
+
+    def _close_window() -> None:
+        # Entries solved in this window batch become visible next window.
+        for sig, members in batch.items():
+            replay.batched += members - 1
+            cache[sig] = True
+            cache.move_to_end(sig)
+            if len(cache) > config.max_entries:
+                cache.popitem(last=False)
+                replay.evictions += 1
+            # One real solve split across the batch members.
+            replay.solve_ns_charged += batch_cost[sig]
+        batch.clear()
+        batch_cost.clear()
+
+    for w, _rank, sig, solve_ns in requests:
+        if window is not None and w != window:
+            _close_window()
+        window = w
+        replay.requests += 1
+        replay.solve_ns_uncached += solve_ns
+        if sig in cache:
+            cache.move_to_end(sig)
+            replay.hits += 1
+            replay.solve_ns_charged += CACHE_HIT_BASE_NS
+        elif sig in batch:
+            batch[sig] += 1
+        else:
+            batch[sig] = 1
+            batch_cost[sig] = solve_ns
+            replay.misses += 1
+    _close_window()
+    return replay
+
+
+def record_replay_metrics(registry, replay: CacheReplay) -> None:
+    """Publish the shared-cache replay into a merged fleet registry."""
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_solver_cache_hits_total",
+        "Shared-service requests answered from the modeled solve cache",
+    ).inc(replay.hits)
+    registry.counter(
+        "repro_solver_cache_misses_total",
+        "Shared-service requests that paid a dedicated modeled solve",
+    ).inc(replay.misses)
+    registry.counter(
+        "repro_solver_cache_batched_total",
+        "Requests sharing a window batch's in-flight solve",
+    ).inc(replay.batched)
+    registry.counter(
+        "repro_solver_cache_evictions_total",
+        "LRU evictions of the modeled shared solve cache",
+    ).inc(replay.evictions)
+    registry.gauge(
+        "repro_solver_cache_hit_rate",
+        "Fraction of shared-service requests not paying a dedicated solve",
+    ).set(replay.hit_rate)

@@ -89,24 +89,36 @@ class FleetSpec:
         mix: Tier mix every node uses.
         policy: Placement policy every node uses (the scheduler may
             override analytical policies per node).
+        policies: Optional per-node policy cycle; when given it
+            overrides ``policy`` and is cycled across nodes like
+            ``scales``, so a fleet can mix analytical and
+            non-analytical nodes (only the former contact the solver
+            service).
         windows: Profile windows per node.
         seed: Fleet base seed; node seeds are spawned from it.
         scales: Address-space scale factors, cycled across nodes.
         node_memory_gb: Modeled memory of a scale-1.0 node.
         percentile: Threshold for threshold-based policies.
         sampling_rate: PEBS period per node.
+        homogeneous: Give every node the *same* spawned seed instead of
+            independent ones -- a fleet of identical replicas (a caching
+            tier serving one traffic distribution).  Workload streams
+            then coincide across nodes, which is the regime where the
+            solve cache collapses the fleet's ILP load.
     """
 
     nodes: int
     profile: str = "standard"
     mix: str = "standard"
     policy: str = "am-tco"
+    policies: tuple[str, ...] | None = None
     windows: int = 8
     seed: int = 0
     scales: tuple[float, ...] = (1.0, 0.5, 2.0)
     node_memory_gb: float = 256.0
     percentile: float = 25.0
     sampling_rate: int = 100
+    homogeneous: bool = False
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -115,22 +127,31 @@ class FleetSpec:
             raise ValueError("windows must be >= 1")
         if not self.scales or any(s <= 0 for s in self.scales):
             raise ValueError("scales must be positive")
+        if self.policies is not None and not self.policies:
+            raise ValueError("policies, when given, must name at least one")
         fleet_profile(self.profile)  # validate the name eagerly
 
     def build(self) -> list[NodeSpec]:
         """Expand into per-node specs with spawned, independent seeds."""
         templates = fleet_profile(self.profile)
         seeds = spawn_seeds(self.seed, self.nodes)
+        if self.homogeneous:
+            seeds = [seeds[0]] * self.nodes
         specs = []
         for i in range(self.nodes):
             workload, kwargs = templates[i % len(templates)]
             scale = self.scales[i % len(self.scales)]
+            policy = (
+                self.policies[i % len(self.policies)]
+                if self.policies
+                else self.policy
+            )
             specs.append(
                 NodeSpec(
                     node_id=i,
                     workload=workload,
                     workload_kwargs=scale_workload_kwargs(kwargs, scale),
-                    policy=self.policy,
+                    policy=policy,
                     mix=self.mix,
                     percentile=self.percentile,
                     windows=self.windows,
