@@ -1,0 +1,183 @@
+"""Run an arena grid: one engine session per cell, process-parallel.
+
+Each cell is an independent :class:`~repro.engine.session.Session` with
+its own spawned seed and its own metrics registry, so cells are
+order-independent and the leaderboard is identical whether the grid runs
+inline (``jobs=1``) or across a process pool (``jobs=J``).  A cell that
+cannot be *built* (a policy/mix mismatch, say ``tpp`` on the spectrum
+mix) is reported ``skipped``; a cell that fails mid-run is ``failed``
+with the error preserved.  Either way the sweep continues -- one bad
+cell never loses the rest of the grid.
+
+Everything ranked by the leaderboard is modeled, deterministic
+simulation output; measured wall-clock goes only to ``manifest.json``
+(which is allowed to differ run to run).  Solver time in particular uses
+the fleet's deterministic cost model
+(:func:`repro.fleet.service.modeled_ilp_ns`) rather than measured wall
+time, for the same reason the fleet does.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.arena.spec import ArenaCell, ArenaSpec
+from repro.core.dollars import project_fleet_savings
+from repro.fleet.service import modeled_ilp_ns
+from repro.obs import Observability
+from repro.policies import THRASH_METRIC, validate_policy
+
+
+@dataclass
+class CellResult:
+    """Outcome of one arena cell.
+
+    ``row`` holds the deterministic leaderboard metrics (empty unless
+    ``status == "ok"``); ``wall_s`` is measured and manifest-only.
+    """
+
+    cell_id: str
+    policy: str
+    workload: str
+    alpha: float | None
+    seed: int
+    status: str
+    error: str = ""
+    wall_s: float = 0.0
+    row: dict = field(default_factory=dict)
+
+
+@dataclass
+class ArenaResult:
+    """One completed sweep: the spec, every cell, and artifact paths."""
+
+    spec: ArenaSpec
+    cells: list[CellResult]
+    wall_s: float
+    paths: dict = field(default_factory=dict)
+
+    def counts(self) -> dict[str, int]:
+        out = {"ok": 0, "failed": 0, "skipped": 0}
+        for cell in self.cells:
+            out[cell.status] = out.get(cell.status, 0) + 1
+        return out
+
+    @property
+    def all_ok(self) -> bool:
+        return all(cell.status == "ok" for cell in self.cells)
+
+
+def _run_cell(payload: tuple[ArenaCell, float]) -> CellResult:
+    """Worker body: one cell, one session, one metrics registry.
+
+    Module-level so the process pool can pickle it; also the ``jobs=1``
+    inline path, so both paths share every byte of behaviour.
+    """
+    cell, node_memory_gb = payload
+    start = time.perf_counter()
+    result = CellResult(
+        cell_id=cell.cell_id,
+        policy=cell.policy,
+        workload=cell.workload,
+        alpha=cell.alpha,
+        seed=cell.seed,
+        status="ok",
+    )
+    obs = Observability(metrics=True)
+    try:
+        from repro.engine.session import Session
+
+        session = Session(cell.scenario, obs=obs)
+    except (ValueError, KeyError) as exc:
+        result.status = "skipped"
+        result.error = str(exc)
+        result.wall_s = time.perf_counter() - start
+        return result
+    try:
+        summary = session.run()
+    except Exception as exc:  # noqa: BLE001 - one cell must not kill the grid
+        result.status = "failed"
+        result.error = f"{type(exc).__name__}: {exc}"
+        result.wall_s = time.perf_counter() - start
+        return result
+
+    inner = getattr(session.policy, "primary", session.policy)
+    thrash = int(getattr(inner, "thrash_total", 0))
+    metric_thrash = (
+        obs.registry.snapshot().get(THRASH_METRIC, {}).get("series", {})
+    )
+    projection = project_fleet_savings(
+        min(1.0, max(0.0, summary.tco_savings)),
+        max(0.0, summary.slowdown),
+        node_memory_gb,
+    )
+    solver_ms = 0.0
+    if validate_policy(cell.policy).analytical:
+        solver_ms = (
+            summary.windows
+            * modeled_ilp_ns(
+                session.system.space.num_regions, len(session.system.tiers)
+            )
+            / 1e6
+        )
+    result.row = {
+        "cell_id": cell.cell_id,
+        "policy": cell.policy,
+        "policy_label": inner.name,
+        "workload": cell.workload,
+        "alpha": cell.alpha,
+        "tco_savings_pct": 100.0 * summary.tco_savings,
+        "saved_dollars_month": projection.saved_dollars_month,
+        "slowdown_pct": 100.0 * summary.slowdown,
+        "p99_latency_ns": session.daemon.latency_percentile(99.0),
+        "pages_migrated": int(summary.extras.get("pages_migrated", 0)),
+        "thrash": thrash,
+        "thrash_metric": float(sum(metric_thrash.values())),
+        "solver_ms": solver_ms,
+        "faults": int(summary.total_faults),
+        "windows": summary.windows,
+    }
+    result.wall_s = time.perf_counter() - start
+    return result
+
+
+def run_arena(
+    spec: ArenaSpec,
+    out_dir=None,
+    jobs: int = 1,
+    log=None,
+) -> ArenaResult:
+    """Sweep the grid and (optionally) write the artifact directory.
+
+    Args:
+        spec: The arena description.
+        out_dir: Directory for ``leaderboard.*`` / ``manifest.json`` /
+            ``figures/``; ``None`` skips writing.
+        jobs: Worker processes; 1 runs inline (identical results).
+        log: Optional ``callable(str)`` progress sink (the CLI passes
+            ``print``).
+    """
+    start = time.perf_counter()
+    cells = spec.cells()
+    payloads = [(cell, spec.node_memory_gb) for cell in cells]
+    if jobs <= 1 or len(cells) <= 1:
+        results = [_run_cell(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            # Executor.map preserves input order, so merge order (and
+            # therefore every artifact) is independent of worker count.
+            results = list(pool.map(_run_cell, payloads))
+    if log is not None:
+        for res in results:
+            note = f" ({res.error})" if res.error else ""
+            log(f"  [{res.status:>7}] {res.cell_id}{note}")
+    arena = ArenaResult(
+        spec=spec, cells=results, wall_s=time.perf_counter() - start
+    )
+    if out_dir is not None:
+        from repro.arena.report import write_outputs
+
+        arena.paths = write_outputs(out_dir, arena)
+    return arena

@@ -143,7 +143,19 @@ def cmd_list(_args) -> int:
             ),
         }
     )
+    rows.append(
+        {
+            "experiment": "arena",
+            "description": (
+                "Policy arena: race every policy x workload x alpha cell "
+                "(subcommand: repro arena)"
+            ),
+        }
+    )
     print(format_table(rows, title="Available experiments"))
+    from repro.policies import policy_rows
+
+    print(format_table(policy_rows(), title="Policy backends"))
     return 0
 
 
@@ -283,6 +295,69 @@ def cmd_run(args) -> int:
         path = export(rows, args.out)
         print(f"results written to {path}")
     return 0
+
+
+def cmd_arena(args) -> int:
+    from repro.arena import ArenaSpec, leaderboard_rows, run_arena
+
+    try:
+        kwargs = {}
+        if args.policies:
+            kwargs["policies"] = tuple(
+                p.strip() for p in args.policies.split(",") if p.strip()
+            )
+        if args.workloads:
+            kwargs["workloads"] = tuple(
+                w.strip() for w in args.workloads.split(",") if w.strip()
+            )
+        if args.alphas:
+            kwargs["alphas"] = tuple(
+                float(a) for a in args.alphas.split(",") if a.strip()
+            )
+        spec = ArenaSpec(
+            mix=args.mix,
+            windows=args.windows,
+            scale=args.scale,
+            percentile=args.percentile,
+            seed=args.seed,
+            node_memory_gb=args.node_memory_gb,
+            **kwargs,
+        )
+    except ValueError as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"invalid arena configuration: {message}", file=sys.stderr)
+        return 2
+    cells = spec.cells()
+    print(
+        f"arena: {len(spec.policies)} policies x "
+        f"{len(spec.workloads)} workloads -> {len(cells)} cells "
+        f"({args.jobs} job(s))"
+    )
+    result = run_arena(spec, out_dir=args.out, jobs=args.jobs, log=print)
+    rows = leaderboard_rows(result.cells)
+    display = [
+        {
+            "rank": row["rank"],
+            "cell": row["cell_id"],
+            "tco_pct": round(row["tco_savings_pct"], 2),
+            "saved_$_mo": round(row["saved_dollars_month"], 2),
+            "slowdown_pct": round(row["slowdown_pct"], 2),
+            "p99_ns": round(row["p99_latency_ns"], 1),
+            "migrated": row["pages_migrated"],
+            "thrash": row["thrash"],
+            "solver_ms": round(row["solver_ms"], 3),
+        }
+        for row in rows
+    ]
+    print(format_table(display, title="Policy arena leaderboard"))
+    counts = result.counts()
+    print(
+        f"cells: {counts['ok']} ok, {counts['failed']} failed, "
+        f"{counts['skipped']} skipped ({result.wall_s:.1f}s)"
+    )
+    if args.out:
+        print(f"artifacts written to {args.out}/")
+    return 0 if result.all_ok else 1
 
 
 def cmd_policy(args) -> int:
@@ -747,10 +822,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=cmd_run)
 
+    arena = sub.add_parser(
+        "arena",
+        help="race every policy x workload x alpha cell; leaderboard + "
+        "manifest + regenerable figures",
+    )
+    arena.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy names (default: "
+        "waterfall,am-tco,tpp,jenga,obase; see 'repro list')",
+    )
+    arena.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names "
+        "(default: masim,memcached-ycsb,pingpong)",
+    )
+    arena.add_argument(
+        "--alphas",
+        default=None,
+        help="comma-separated alpha knobs for alpha-requiring policies "
+        "(default: 0.3,0.7)",
+    )
+    arena.add_argument("--mix", default="standard")
+    arena.add_argument("--windows", type=int, default=8)
+    arena.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="workload size factor per cell (default 0.25)",
+    )
+    arena.add_argument("--percentile", type=float, default=25.0)
+    arena.add_argument("--seed", type=int, default=0)
+    arena.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    arena.add_argument(
+        "--node-memory-gb",
+        type=float,
+        default=256.0,
+        help="modeled per-node memory for the dollar column",
+    )
+    arena.add_argument(
+        "--out",
+        default=None,
+        help="artifact directory (leaderboard.{md,csv,json}, "
+        "manifest.json, figures/)",
+    )
+    arena.set_defaults(func=cmd_arena)
+
     policy = sub.add_parser("policy", help="run one (workload, policy) pair")
     policy.add_argument("workload", help="registry name, e.g. memcached-ycsb")
     policy.add_argument(
-        "policy", help="hemem|gswap|tmo|waterfall|am|am-tco|am-perf"
+        "policy", help="registry policy name (see 'repro list')"
     )
     policy.add_argument("--mix", default="standard", help="standard|spectrum|single")
     policy.add_argument("--windows", type=int, default=10)

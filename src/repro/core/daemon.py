@@ -327,6 +327,11 @@ class TSDaemon:
             self.run_window(page_ids, write_fraction=workload.write_fraction)
         return self.summary(workload.name)
 
+    def latency_percentile(self, p: float) -> float:
+        """Run-level access-latency percentile from the log-binned
+        accumulator (the arena leaderboard reads p99 through this)."""
+        return self._latencies.percentile(p)
+
     def summary(self, workload_name: str = "") -> RunSummary:
         """Aggregate the run into a :class:`RunSummary`."""
         clock = self.system.clock

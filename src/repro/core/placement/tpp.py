@@ -1,16 +1,26 @@
 """TPP-style placement (Transparent Page Placement, the paper's [42]).
 
-TPP tiers memory for CXL systems with two mechanisms the simple
-percentile baselines lack:
+TPP tiers memory for CXL systems with mechanisms the simple percentile
+baselines lack:
 
 * **watermark-driven demotion** -- instead of demoting a fixed percentile
   every window, TPP demotes only when the fast tier's occupancy exceeds a
   configurable watermark, and then only enough of the coldest regions to
-  get back under it;
+  get back under it; with ``tier_watermarks`` the same rule cascades down
+  the colder tiers (overflow in tier *i* demotes one tier colder);
 * **ping-pong-aware promotion** -- a region is promoted only after it
   proves itself hot for ``promotion_hysteresis`` consecutive windows,
   suppressing the demote/promote ping-pong a single-shot threshold
-  creates under shifting access patterns.
+  creates under shifting access patterns;
+* **promotion rate limiting** -- at most ``promotion_rate_limit``
+  promotions per window, hottest first, bounding migration bandwidth the
+  way TPP's promotion-candidate budget does.
+
+The reactive arena configuration (``make_policy("tpp")``) runs with
+hysteresis 1, the demotion cascade and the rate limiter on; direct
+construction keeps the historic defaults.  Every move additionally feeds
+a :class:`~repro.policies.thrash.ThrashTracker`, so the arena can read
+the ping-pong cost reactive promotion pays (``repro_arena_thrash_total``).
 
 Like HeMem*, the slow tier is byte-addressable; the class also accepts a
 compressed slow tier so TPP-style placement composes with TierScape's
@@ -28,15 +38,23 @@ from repro.telemetry.window import ProfileRecord
 
 
 class TPPPolicy(PlacementModel):
-    """Watermark demotion + hysteresis promotion.
+    """Watermark demotion + hysteresis promotion (+ optional cascade/limit).
 
     Args:
-        slow_tier: Destination for demoted regions.
+        slow_tier: Destination for DRAM-demoted regions.
         dram_watermark: Target maximum fraction of the address space kept
             in DRAM; demotion triggers above it.
         promotion_hysteresis: Consecutive hot windows required before a
             demoted region is promoted back.
         hot_percentile: Percentile defining "hot" within one window.
+        tier_watermarks: Optional ``{tier name: max fraction}`` demotion
+            cascade for tiers below DRAM: a named tier over its watermark
+            demotes its coldest overflow one tier colder.  ``None`` keeps
+            the historic DRAM-only behaviour.
+        promotion_rate_limit: Maximum promotions issued per window
+            (hottest first); ``None`` is unlimited.
+        thrash_window: Reversal distance counted as promote/demote
+            thrash (accounting only; never changes the move map).
         name: Display name.
     """
 
@@ -46,18 +64,41 @@ class TPPPolicy(PlacementModel):
         dram_watermark: float = 0.7,
         promotion_hysteresis: int = 2,
         hot_percentile: float = 50.0,
+        tier_watermarks: dict[str, float] | None = None,
+        promotion_rate_limit: int | None = None,
+        thrash_window: int = 4,
         name: str | None = None,
     ) -> None:
         if not 0.0 < dram_watermark <= 1.0:
             raise ValueError("dram_watermark must be in (0, 1]")
         if promotion_hysteresis < 1:
             raise ValueError("promotion_hysteresis must be >= 1")
+        if tier_watermarks is not None and any(
+            not 0.0 < wm <= 1.0 for wm in tier_watermarks.values()
+        ):
+            raise ValueError("tier watermarks must be in (0, 1]")
+        if promotion_rate_limit is not None and promotion_rate_limit < 1:
+            raise ValueError("promotion_rate_limit must be >= 1")
         self.slow_tier = slow_tier
         self.dram_watermark = dram_watermark
         self.promotion_hysteresis = promotion_hysteresis
         self.hot_percentile = hot_percentile
+        self.tier_watermarks = dict(tier_watermarks) if tier_watermarks else None
+        self.promotion_rate_limit = promotion_rate_limit
         self.name = name or f"TPP*({slow_tier})"
         self._hot_streak: dict[int, int] = {}
+        self._window = 0
+        self.deferred_promotions = 0
+        # Imported late: repro.policies imports this module at class scope.
+        from repro.policies.thrash import ThrashTracker
+
+        self.thrash = ThrashTracker(thrash_window)
+        self._thrash_counter = None
+
+    @property
+    def thrash_total(self) -> int:
+        """Promote/demote reversals this run."""
+        return self.thrash.thrash_total
 
     def recommend(
         self, record: ProfileRecord, system: TieredMemorySystem
@@ -67,7 +108,8 @@ class TPPPolicy(PlacementModel):
         hot_now = record.hotness > threshold
 
         moves: dict[int, int] = {}
-        # Promotion with hysteresis.
+        # Promotion with hysteresis (and, optionally, a per-window cap).
+        candidates: list[int] = []
         for region in system.space.regions:
             rid = region.region_id
             if hot_now[rid]:
@@ -78,24 +120,87 @@ class TPPPolicy(PlacementModel):
                 region.assigned_tier != 0
                 and self._hot_streak[rid] >= self.promotion_hysteresis
             ):
-                moves[rid] = 0
+                candidates.append(rid)
+        if (
+            self.promotion_rate_limit is not None
+            and len(candidates) > self.promotion_rate_limit
+        ):
+            # Hottest first; ties resolve by region id for determinism.
+            candidates.sort(key=lambda rid: (-record.hotness[rid], rid))
+            self.deferred_promotions += (
+                len(candidates) - self.promotion_rate_limit
+            )
+            candidates = candidates[: self.promotion_rate_limit]
+        for rid in candidates:
+            moves[rid] = 0
 
         # Watermark-driven demotion: only if DRAM is over target, and only
         # the coldest overflow.
-        dram_pages = int(system.placement_counts()[0])
-        target_pages = int(self.dram_watermark * system.space.num_pages)
-        overflow_regions = max(
-            0, (dram_pages - target_pages) // PAGES_PER_REGION
+        coldest_first = np.argsort(record.hotness, kind="stable")
+        self._demote_overflow(
+            system,
+            coldest_first,
+            src_idx=0,
+            dst_idx=slow_idx,
+            watermark=self.dram_watermark,
+            moves=moves,
         )
-        if overflow_regions:
-            coldest_first = np.argsort(record.hotness, kind="stable")
-            demoted = 0
-            for rid in coldest_first:
-                rid = int(rid)
-                if demoted >= overflow_regions:
-                    break
-                region = system.space.regions[rid]
-                if region.assigned_tier == 0 and rid not in moves:
-                    moves[rid] = slow_idx
-                    demoted += 1
+        if self.tier_watermarks:
+            # Cascade: each watermarked colder tier sheds its coldest
+            # overflow one tier colder still.
+            for tier_idx in range(1, len(system.tiers) - 1):
+                wm = self.tier_watermarks.get(system.tiers[tier_idx].name)
+                if wm is None:
+                    continue
+                self._demote_overflow(
+                    system,
+                    coldest_first,
+                    src_idx=tier_idx,
+                    dst_idx=tier_idx + 1,
+                    watermark=wm,
+                    moves=moves,
+                )
+
+        self._account_thrash(moves, system)
         return moves
+
+    def _demote_overflow(
+        self,
+        system: TieredMemorySystem,
+        coldest_first: np.ndarray,
+        src_idx: int,
+        dst_idx: int,
+        watermark: float,
+        moves: dict[int, int],
+    ) -> None:
+        """Demote the coldest overflow of ``src_idx`` into ``dst_idx``."""
+        src_pages = int(system.placement_counts()[src_idx])
+        target_pages = int(watermark * system.space.num_pages)
+        overflow_regions = max(0, (src_pages - target_pages) // PAGES_PER_REGION)
+        if not overflow_regions:
+            return
+        demoted = 0
+        for rid in coldest_first:
+            rid = int(rid)
+            if demoted >= overflow_regions:
+                break
+            region = system.space.regions[rid]
+            if region.assigned_tier == src_idx and rid not in moves:
+                moves[rid] = dst_idx
+                demoted += 1
+
+    def _account_thrash(
+        self, moves: dict[int, int], system: TieredMemorySystem
+    ) -> None:
+        from repro.policies.thrash import install_thrash_counter
+
+        if self._thrash_counter is None:
+            self._thrash_counter = install_thrash_counter(
+                getattr(self, "obs", None), self.name
+            )
+        thrashed = self.thrash.note_moves(
+            moves, system.space.page_table.region_assigned, self._window
+        )
+        if thrashed and self._thrash_counter is not None:
+            self._thrash_counter.inc(thrashed, policy=self.name)
+        self._window += 1

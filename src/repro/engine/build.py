@@ -5,6 +5,12 @@ to built objects.  It absorbed ``build_system``/``make_policy`` from
 ``repro.bench.runner`` so that the bench harness, the fleet runner and
 the CLI all construct systems and policies through one seam; the old
 ``repro.bench.runner`` imports remain as thin aliases.
+
+Policy construction itself now lives in the extensible
+:mod:`repro.policies` registry -- :func:`make_policy` here is a
+re-export, and :data:`POLICY_NAMES` is the import-time snapshot of the
+built-in names (dynamic callers should use
+:func:`repro.policies.policy_names`, which sees late registrations).
 """
 
 from __future__ import annotations
@@ -12,18 +18,19 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.bench import configs
-from repro.core.knob import Knob
-from repro.core.placement.analytical import AnalyticalModel
-from repro.core.placement.base import PlacementModel
-from repro.core.placement.memtis import MemtisPolicy
-from repro.core.placement.static_threshold import StaticThresholdPolicy
-from repro.core.placement.tpp import TPPPolicy
-from repro.core.placement.waterfall import WaterfallModel
 from repro.mem.address_space import AddressSpace
 from repro.mem.system import TieredMemorySystem
 from repro.mem.tier import Tier
+from repro.policies import make_policy, policy_names
 from repro.workloads.base import Workload
 from repro.workloads.registry import WORKLOADS
+
+__all__ = [
+    "MIXES",
+    "POLICY_NAMES",
+    "build_system",
+    "make_policy",
+]
 
 #: Tier-mix factories by name.
 MIXES: dict[str, Callable[[AddressSpace], list[Tier]]] = {
@@ -32,18 +39,9 @@ MIXES: dict[str, Callable[[AddressSpace], list[Tier]]] = {
     "single": configs.single_ct_mix,
 }
 
-#: Every policy name :func:`make_policy` accepts.
-POLICY_NAMES = (
-    "hemem",
-    "gswap",
-    "tmo",
-    "tpp",
-    "memtis",
-    "waterfall",
-    "am",
-    "am-tco",
-    "am-perf",
-)
+#: The built-in policy names, snapshotted at import time.  Kept for the
+#: historic import sites; validation goes through the live registry.
+POLICY_NAMES = policy_names()
 
 
 def build_system(
@@ -79,59 +77,4 @@ def build_system(
         mix_factory(space),
         space,
         fast_same_algo_migration=fast_same_algo_migration,
-    )
-
-
-def make_policy(
-    policy: str,
-    mix: str = "standard",
-    percentile: float = 25.0,
-    alpha: float | None = None,
-    solver_backend: str = "auto",
-) -> PlacementModel:
-    """Build a placement policy by evaluation name.
-
-    Recognised names: ``hemem`` (NVMM two-tier), ``gswap`` (CT-1 / C7
-    two-tier), ``tmo`` (CT-2 two-tier, standard mix only), ``waterfall``,
-    ``am`` (analytical; requires ``alpha``), the presets ``am-tco`` and
-    ``am-perf``, plus the extended related-work baselines ``tpp``
-    (watermark + hysteresis over NVMM) and ``memtis`` (histogram-sized
-    hot set over NVMM).
-    """
-    policy = policy.lower()
-    if policy == "hemem":
-        if mix != "standard":
-            raise ValueError("HeMem* needs the standard mix (it uses NVMM)")
-        return StaticThresholdPolicy("NVMM", percentile, name="HeMem*")
-    if policy == "tpp":
-        if mix != "standard":
-            raise ValueError("TPP* needs the standard mix (it uses NVMM)")
-        # Interpret the percentile knob as the DRAM watermark: a 75th
-        # percentile (aggressive) setting keeps only 25 % in DRAM.
-        return TPPPolicy("NVMM", dram_watermark=1.0 - percentile / 100.0)
-    if policy == "memtis":
-        if mix != "standard":
-            raise ValueError("MEMTIS* needs the standard mix (it uses NVMM)")
-        return MemtisPolicy("NVMM", dram_budget=1.0 - percentile / 100.0)
-    if policy == "gswap":
-        slow = "C7" if mix == "spectrum" else "CT-1"
-        return StaticThresholdPolicy(slow, percentile, name="GSwap*")
-    if policy == "tmo":
-        if mix != "standard":
-            raise ValueError("TMO* needs the standard mix (it uses CT-2)")
-        return StaticThresholdPolicy("CT-2", percentile, name="TMO*")
-    if policy == "waterfall":
-        return WaterfallModel(percentile)
-    if policy == "am-tco":
-        return AnalyticalModel(Knob.am_tco(), backend=solver_backend, name="AM-TCO")
-    if policy == "am-perf":
-        return AnalyticalModel(
-            Knob.am_perf(), backend=solver_backend, name="AM-perf"
-        )
-    if policy == "am":
-        if alpha is None:
-            raise ValueError("policy 'am' requires an alpha value")
-        return AnalyticalModel(Knob(alpha), backend=solver_backend)
-    raise KeyError(
-        f"unknown policy {policy!r}; available: {', '.join(POLICY_NAMES)}"
     )

@@ -19,8 +19,9 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
-from repro.engine.build import MIXES, POLICY_NAMES
+from repro.engine.build import MIXES
 from repro.mem.page import PAGES_PER_REGION
+from repro.policies import validate_policy
 from repro.telemetry import PROFILER_KINDS
 from repro.workloads.registry import WORKLOADS
 
@@ -66,7 +67,7 @@ class ScenarioSpec:
             (``num_pages`` region-aligned; see
             :func:`scale_workload_kwargs`).
         mix: Tier-mix name (:data:`repro.engine.build.MIXES`).
-        policy: Policy name (:data:`repro.engine.build.POLICY_NAMES`).
+        policy: Policy name (the :mod:`repro.policies` registry).
         percentile: Hotness threshold for threshold-based policies.
         alpha: Analytical knob; required when ``policy == "am"``.
         solver_backend: ILP backend for analytical policies.
@@ -120,18 +121,19 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown mix {self.mix!r}; available: {sorted(MIXES)}"
             )
-        if self.policy not in POLICY_NAMES:
-            raise ValueError(
-                f"unknown policy {self.policy!r}; "
-                f"available: {', '.join(POLICY_NAMES)}"
-            )
+        # Consult the live policy registry (not an import-time snapshot)
+        # so late-registered backends validate while typos still fail
+        # before any simulation state is built.
+        policy_info = validate_policy(self.policy)
         if self.telemetry not in PROFILER_KINDS:
             raise ValueError(
                 f"unknown telemetry {self.telemetry!r}; "
                 f"available: {', '.join(PROFILER_KINDS)}"
             )
-        if self.policy == "am" and self.alpha is None:
-            raise ValueError("policy 'am' requires an alpha value")
+        if policy_info.requires_alpha and self.alpha is None:
+            raise ValueError(
+                f"policy {self.policy!r} requires an alpha value"
+            )
         if self.windows < 1:
             raise ValueError("windows must be >= 1")
         if self.scale <= 0:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from repro.bench.configs import fleet_profile
 from repro.core.seeding import child_seed, spawn_seeds
 from repro.engine.spec import ScenarioSpec, scale_workload_kwargs
+from repro.policies import validate_policy
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,10 @@ class FleetSpec:
         if self.policies is not None and not self.policies:
             raise ValueError("policies, when given, must name at least one")
         fleet_profile(self.profile)  # validate the name eagerly
+        # Policy names validate against the live registry, like
+        # ScenarioSpec, so a typo fails before any node is built.
+        for policy in self.policies or (self.policy,):
+            validate_policy(policy)
 
     def build(self) -> list[NodeSpec]:
         """Expand into per-node specs with spawned, independent seeds."""

@@ -16,6 +16,43 @@ from repro.mem.page import PAGE_SIZE, PAGES_PER_REGION
 from repro.mem.pagetable import PageTable
 from repro.mem.region import RegionSet
 
+#: Allocation-run lengths (pages) drawn for the ``alloc_site`` column:
+#: uniform in ``[min, max)``, mean a quarter region, so objects straddle
+#: region boundaries (the OBASE granularity argument needs misalignment).
+ALLOC_RUN_PAGES = (PAGES_PER_REGION // 16, PAGES_PER_REGION // 2)
+
+#: Extra entropy word for the allocation-site stream, keeping it
+#: independent of the compressibility draw (which pins existing goldens).
+_ALLOC_SITE_STREAM = 0x0BA5E
+
+
+def draw_alloc_sites(num_pages: int, seed: int) -> np.ndarray:
+    """Assign contiguous variable-length allocation runs to pages.
+
+    Models a slab of allocations laid out by address: each run is one
+    allocation site's object, its length drawn uniformly from
+    :data:`ALLOC_RUN_PAGES`.  The stream is seeded independently of every
+    other draw in the simulator so adding the column perturbs no pinned
+    RNG sequence.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=(seed, _ALLOC_SITE_STREAM))
+    )
+    lo, hi = ALLOC_RUN_PAGES
+    sites = np.empty(num_pages, dtype=np.int32)
+    pos = 0
+    site = 0
+    while pos < num_pages:
+        remaining = num_pages - pos
+        for length in rng.integers(lo, hi, size=remaining // lo + 1).tolist():
+            end = min(pos + length, num_pages)
+            sites[pos:end] = site
+            site += 1
+            pos = end
+            if pos >= num_pages:
+                break
+    return sites
+
 
 class AddressSpace:
     """Pages + regions + per-page compressibility for one application.
@@ -48,6 +85,7 @@ class AddressSpace:
         self.num_pages = num_pages
         #: The columnar metadata store every page/region view reads.
         self.page_table = PageTable(num_pages)
+        self.page_table.alloc_site = draw_alloc_sites(num_pages, seed)
         self.regions = RegionSet(self.page_table)
         if compressibility is not None:
             compressibility = np.asarray(compressibility, dtype=np.float64)

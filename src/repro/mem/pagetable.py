@@ -18,6 +18,7 @@ column          dtype    meaning
 ``ct_owner``    int16    compressed tier *token* storing the page, -1 if none
 ``csize``       int64    compressed size in bytes while stored, else 0
 ``obj_id``      int64    pool-allocator object id while stored, else -1
+``alloc_site``  int32    static allocation-site/object id (OBASE granularity)
 ==============  =======  ====================================================
 
 Region columns (shape ``(num_regions,)``): ``region_assigned`` (int16,
@@ -69,12 +70,21 @@ class PageTable:
         "ct_owner",
         "csize",
         "obj_id",
+        "alloc_site",
         "region_assigned",
         "region_hotness",
     )
 
     #: Column names serialized by the checkpoint array path, in order.
-    PAGE_COLUMNS = ("tier", "last_access", "region_id", "ct_owner", "csize", "obj_id")
+    PAGE_COLUMNS = (
+        "tier",
+        "last_access",
+        "region_id",
+        "ct_owner",
+        "csize",
+        "obj_id",
+        "alloc_site",
+    )
     REGION_COLUMNS = ("region_assigned", "region_hotness")
 
     def __init__(self, num_pages: int, num_regions: int | None = None) -> None:
@@ -98,6 +108,10 @@ class PageTable:
         self.ct_owner = np.full(num_pages, -1, dtype=np.int16)
         self.csize = np.zeros(num_pages, dtype=np.int64)
         self.obj_id = np.full(num_pages, -1, dtype=np.int64)
+        # Static allocation-site ids; the default (one object per region)
+        # degrades OBASE-granularity policies to region granularity until
+        # the address space assigns real allocation runs.
+        self.alloc_site = self.region_id.astype(np.int32)
         self.region_assigned = np.zeros(num_regions, dtype=np.int16)
         self.region_hotness = np.zeros(num_regions, dtype=np.float64)
 
@@ -188,6 +202,7 @@ class PageTable:
             ("ct_owner", -1),
             ("csize", 0),
             ("obj_id", -1),
+            ("alloc_site", 0),
         ):
             old = getattr(self, name)
             col = np.full(new, fill, dtype=old.dtype)
@@ -205,8 +220,20 @@ class PageTable:
         }
 
     def attach_columns(self, columns: dict[str, np.ndarray]) -> None:
-        """Re-attach columns detached by the light-pickle checkpoint path."""
+        """Re-attach columns detached by the light-pickle checkpoint path.
+
+        Checkpoints written before the ``alloc_site`` column existed lack
+        it; the pre-column default (one allocation site per region) is
+        restored so old blobs keep loading.
+        """
         for name in self.PAGE_COLUMNS + self.REGION_COLUMNS:
+            if name not in columns and name == "alloc_site":
+                setattr(
+                    self,
+                    name,
+                    np.ascontiguousarray(columns["region_id"]).astype(np.int32),
+                )
+                continue
             setattr(self, name, np.ascontiguousarray(columns[name]))
         self.num_pages = int(self.tier.size)
         self.num_regions = int(self.region_assigned.size)
@@ -230,6 +257,10 @@ class PageTable:
         for name in self.PAGE_COLUMNS + self.REGION_COLUMNS:
             # Light pickle: placeholder columns until attach_columns().
             setattr(self, name, state.get(name))
+        if not stripped and self.alloc_site is None:
+            # Full pickle from before the alloc_site column: restore the
+            # pre-column default (one allocation site per region).
+            self.alloc_site = self.region_id.astype(np.int32)
         if stripped and _STRIPPED is not None:
             # Unpickling traverses the graph in the same order pickling
             # did, so the restore side can zip stripped tables with the

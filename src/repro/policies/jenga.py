@@ -1,0 +1,177 @@
+"""Jenga-style thrash-aware responsive tiering (arXiv 2510.22869).
+
+Jenga's observation: reactive promotion (TPP-style) wins responsiveness
+but loses it back to promote/demote ping-pong when hot sets shift faster
+than the migration payback.  The policy here reproduces the mechanism at
+region granularity:
+
+* an **online reuse-distance estimator** -- per region, an EWMA over the
+  lengths of *completed* hot episodes (consecutive hot windows ending in
+  a cold window).  The estimate predicts how long a region now turning
+  hot will stay hot, i.e. when it would be re-demoted if promoted.
+* a **payback gate** -- a promotion is issued only when the predicted
+  *remaining* hot residency covers the migration payback
+  (``payback_windows``).  Regions with short measured episodes (the
+  ping-pong signature) are refused; regions with long or never-ending
+  episodes are promoted after only ``responsiveness`` hot windows.
+* **explicit thrash accounting** -- every move feeds a
+  :class:`~repro.policies.thrash.ThrashTracker`; the count is exported
+  as ``repro_arena_thrash_total`` so the arena can score the
+  responsiveness-vs-thrash trade directly.
+
+Demotion stays watermark-driven (coldest overflow out of DRAM), as in
+TPP: Jenga changes *when promotion is worth it*, not the demotion side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement.base import PlacementModel
+from repro.mem.page import PAGES_PER_REGION
+from repro.mem.system import TieredMemorySystem
+from repro.policies.thrash import ThrashTracker, install_thrash_counter
+from repro.telemetry.window import ProfileRecord
+
+
+class JengaPolicy(PlacementModel):
+    """Reuse-distance-gated promotion with thrash accounting.
+
+    Args:
+        slow_tier: Destination for watermark-demoted regions.
+        dram_watermark: Target maximum fraction of the address space in
+            DRAM; demotion triggers above it.
+        hot_percentile: Percentile defining "hot" within one window.
+        payback_windows: Hot windows a promotion must be predicted to
+            enjoy before it pays for the migration.  Also the warm-up
+            streak required before a region with no episode history is
+            trusted.
+        responsiveness: Hot windows before a region with a favourable
+            episode history is promoted (1 = promote on first hot
+            window, the responsive end of Jenga's tuning axis).
+        ewma: Weight of the newest completed episode in the estimator.
+        thrash_window: Reversal distance counted as thrash.
+        name: Display name.
+    """
+
+    def __init__(
+        self,
+        slow_tier: str,
+        dram_watermark: float = 0.7,
+        hot_percentile: float = 50.0,
+        payback_windows: int = 3,
+        responsiveness: int = 1,
+        ewma: float = 0.5,
+        thrash_window: int = 4,
+        name: str | None = None,
+    ) -> None:
+        if not 0.0 < dram_watermark <= 1.0:
+            raise ValueError("dram_watermark must be in (0, 1]")
+        if payback_windows < 1:
+            raise ValueError("payback_windows must be >= 1")
+        if responsiveness < 1:
+            raise ValueError("responsiveness must be >= 1")
+        if not 0.0 < ewma <= 1.0:
+            raise ValueError("ewma must be in (0, 1]")
+        self.slow_tier = slow_tier
+        self.dram_watermark = dram_watermark
+        self.hot_percentile = hot_percentile
+        self.payback_windows = payback_windows
+        self.responsiveness = responsiveness
+        self.ewma = ewma
+        self.name = name or f"Jenga*({slow_tier})"
+        self._streak: dict[int, int] = {}
+        self._episode_ewma: dict[int, float] = {}
+        self._last_demoted: dict[int, int] = {}
+        self._window = 0
+        self.deferred_promotions = 0
+        self.thrash = ThrashTracker(thrash_window)
+        self._thrash_counter = None
+
+    @property
+    def thrash_total(self) -> int:
+        """Promote/demote reversals this run (the Jenga guarantee: ~0)."""
+        return self.thrash.thrash_total
+
+    def _promotion_pays(self, rid: int) -> bool:
+        """The payback gate: is promoting ``rid`` now worth a migration?"""
+        streak = self._streak.get(rid, 0)
+        estimate = self._episode_ewma.get(rid)
+        if estimate is not None:
+            # Predicted remaining hot windows if promoted now.
+            remaining = estimate - streak
+            return (
+                streak >= self.responsiveness
+                and remaining >= self.payback_windows
+            )
+        # No completed episodes yet: trust only a proven residency, and
+        # never re-promote inside the thrash window of the demotion that
+        # parked the region -- a recent demotion is direct evidence the
+        # re-demotion window is shorter than the migration payback.
+        demoted_at = self._last_demoted.get(rid)
+        if (
+            demoted_at is not None
+            and self._window - demoted_at <= self.thrash.window_limit
+        ):
+            return False
+        return streak >= self.payback_windows
+
+    def recommend(
+        self, record: ProfileRecord, system: TieredMemorySystem
+    ) -> dict[int, int]:
+        slow_idx = system.tier_index(self.slow_tier)
+        threshold = float(np.percentile(record.hotness, self.hot_percentile))
+        hot_now = record.hotness > threshold
+
+        moves: dict[int, int] = {}
+        for region in system.space.regions:
+            rid = region.region_id
+            if hot_now[rid]:
+                self._streak[rid] = self._streak.get(rid, 0) + 1
+            else:
+                streak = self._streak.get(rid, 0)
+                if streak:
+                    # A hot episode just completed; fold its length in.
+                    prev = self._episode_ewma.get(rid)
+                    self._episode_ewma[rid] = (
+                        float(streak)
+                        if prev is None
+                        else (1.0 - self.ewma) * prev + self.ewma * streak
+                    )
+                self._streak[rid] = 0
+            if region.assigned_tier != 0 and hot_now[rid]:
+                if self._promotion_pays(rid):
+                    moves[rid] = 0
+                else:
+                    self.deferred_promotions += 1
+
+        # Watermark-driven demotion of the coldest DRAM overflow.
+        dram_pages = int(system.placement_counts()[0])
+        target_pages = int(self.dram_watermark * system.space.num_pages)
+        overflow_regions = max(
+            0, (dram_pages - target_pages) // PAGES_PER_REGION
+        )
+        if overflow_regions:
+            coldest_first = np.argsort(record.hotness, kind="stable")
+            demoted = 0
+            for rid in coldest_first:
+                rid = int(rid)
+                if demoted >= overflow_regions:
+                    break
+                region = system.space.regions[rid]
+                if region.assigned_tier == 0 and rid not in moves:
+                    moves[rid] = slow_idx
+                    self._last_demoted[rid] = self._window
+                    demoted += 1
+
+        if self._thrash_counter is None:
+            self._thrash_counter = install_thrash_counter(
+                getattr(self, "obs", None), self.name
+            )
+        thrashed = self.thrash.note_moves(
+            moves, system.space.page_table.region_assigned, self._window
+        )
+        if thrashed and self._thrash_counter is not None:
+            self._thrash_counter.inc(thrashed, policy=self.name)
+        self._window += 1
+        return moves

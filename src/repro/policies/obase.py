@@ -1,0 +1,119 @@
+"""OBASE-inspired object/allocation-site granularity placement.
+
+The fixed 2 MB region is TierScape's unit of migration, but objects from
+one allocation site share a lifetime and temperature, and they rarely
+align to region boundaries.  OBASE (arXiv 2603.00378) tiers at object
+granularity; this policy reproduces the *decision* granularity change on
+top of the SoA :class:`~repro.mem.pagetable.PageTable`:
+
+1. pages are grouped by the static ``alloc_site`` column (variable-length
+   allocation runs that straddle region boundaries, assigned by
+   :class:`~repro.mem.address_space.AddressSpace`);
+2. hotness is aggregated per object with ``np.bincount`` weighted sums
+   (no per-object Python loop);
+3. a waterfall rule runs at object granularity -- hot objects to DRAM,
+   cold objects one tier colder than their current majority tier;
+4. the object decisions are projected back to the region-keyed move map
+   the migration engine executes, by per-region page majority.
+
+Step 4 keeps the policy runnable unchanged through the daemon, fleet,
+serve and chaos ladder: the *mechanism* still migrates regions, only the
+*policy* reasons about objects.  Where objects and regions disagree, the
+majority projection is exactly the placement error the granularity
+argument is about -- the arena measures what it costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement.base import PlacementModel
+from repro.mem.system import TieredMemorySystem
+from repro.policies.thrash import ThrashTracker, install_thrash_counter
+from repro.telemetry.window import ProfileRecord
+
+
+class ObasePolicy(PlacementModel):
+    """Waterfall placement decided per allocation site, not per region.
+
+    Args:
+        percentile: Objects above this hotness percentile are hot
+            (promoted to DRAM); the rest cascade one tier colder.
+        name: Display name.
+    """
+
+    def __init__(self, percentile: float = 25.0, name: str | None = None) -> None:
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        self.percentile = percentile
+        self.name = name or "OBASE*"
+        self.thrash = ThrashTracker()
+        self._window = 0
+        self._thrash_counter = None
+
+    @property
+    def thrash_total(self) -> int:
+        return self.thrash.thrash_total
+
+    def object_hotness(
+        self, record: ProfileRecord, system: TieredMemorySystem
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mean hotness and page count per allocation site."""
+        pt = system.space.page_table
+        sites = pt.alloc_site
+        num_sites = int(sites.max()) + 1 if sites.size else 0
+        page_hot = record.hotness[pt.region_id]
+        counts = np.bincount(sites, minlength=num_sites).astype(np.float64)
+        sums = np.bincount(sites, weights=page_hot, minlength=num_sites)
+        return sums / np.maximum(counts, 1.0), counts
+
+    def recommend(
+        self, record: ProfileRecord, system: TieredMemorySystem
+    ) -> dict[int, int]:
+        pt = system.space.page_table
+        sites = pt.alloc_site
+        num_tiers = len(system.tiers)
+        obj_hot, obj_pages = self.object_hotness(record, system)
+        num_sites = obj_hot.size
+        if not num_sites:
+            return {}
+        populated = obj_pages > 0
+        threshold = float(
+            np.percentile(obj_hot[populated], self.percentile)
+        )
+
+        # Current majority tier per object, from the policy-visible
+        # region assignment (same source the region policies read).
+        page_tier = pt.region_assigned[pt.region_id].astype(np.int64)
+        tier_occ = np.bincount(
+            sites * num_tiers + page_tier, minlength=num_sites * num_tiers
+        ).reshape(num_sites, num_tiers)
+        current = tier_occ.argmax(axis=1)
+
+        # Object-granularity waterfall: hot -> DRAM, cold one tier colder.
+        target = np.where(
+            obj_hot > threshold, 0, np.minimum(current + 1, num_tiers - 1)
+        )
+
+        # Project object targets onto regions by page majority (ties go
+        # to the faster tier via argmax's first-hit rule).
+        page_target = target[sites]
+        region_occ = np.bincount(
+            pt.region_id.astype(np.int64) * num_tiers + page_target,
+            minlength=system.space.num_regions * num_tiers,
+        ).reshape(system.space.num_regions, num_tiers)
+        region_target = region_occ.argmax(axis=1)
+
+        assigned = pt.region_assigned
+        changed = np.nonzero(region_target != assigned)[0]
+        moves = {int(rid): int(region_target[rid]) for rid in changed}
+
+        if self._thrash_counter is None:
+            self._thrash_counter = install_thrash_counter(
+                getattr(self, "obs", None), self.name
+            )
+        thrashed = self.thrash.note_moves(moves, assigned, self._window)
+        if thrashed and self._thrash_counter is not None:
+            self._thrash_counter.inc(thrashed, policy=self.name)
+        self._window += 1
+        return moves

@@ -1,0 +1,94 @@
+"""Promote/demote ping-pong accounting shared by the reactive policies.
+
+A *thrash* is Jenga's failure unit: a region migrated one direction and
+then back within a few windows, paying two migrations for placement the
+system could have kept.  :class:`ThrashTracker` counts them from the
+move stream alone so every policy is scored by the same rule, and
+:func:`install_thrash_counter` publishes the count as the
+``repro_arena_thrash_total`` metric the arena leaderboard reads.
+"""
+
+from __future__ import annotations
+
+#: Metric name the arena asserts on (labelled by ``policy``).
+THRASH_METRIC = "repro_arena_thrash_total"
+THRASH_HELP = (
+    "Regions migrated one direction and back within the thrash window "
+    "(promote/demote ping-pong)"
+)
+
+#: A reversal this many windows or fewer after the original move thrashes.
+DEFAULT_THRASH_WINDOW = 4
+
+#: Move directions recorded per region.
+PROMOTE = 1
+DEMOTE = -1
+
+
+class ThrashTracker:
+    """Count direction reversals per region within a window budget.
+
+    Args:
+        window_limit: Maximum window gap for a reversal to count as
+            thrash (both promote-then-demote and demote-then-promote).
+    """
+
+    def __init__(self, window_limit: int = DEFAULT_THRASH_WINDOW) -> None:
+        if window_limit < 1:
+            raise ValueError("window_limit must be >= 1")
+        self.window_limit = window_limit
+        self.thrash_total = 0
+        self._last: dict[int, tuple[int, int]] = {}
+
+    def note(self, region_id: int, window: int, direction: int) -> bool:
+        """Record one move; return whether it completed a thrash pair."""
+        prev = self._last.get(region_id)
+        self._last[region_id] = (window, direction)
+        if (
+            prev is not None
+            and prev[1] == -direction
+            and window - prev[0] <= self.window_limit
+        ):
+            self.thrash_total += 1
+            return True
+        return False
+
+    def note_moves(
+        self, moves: dict[int, int], assigned, window: int
+    ) -> int:
+        """Record a window's move map against the current assignment.
+
+        Args:
+            moves: ``{region_id: destination tier}`` as returned by
+                :meth:`~repro.core.placement.base.PlacementModel.recommend`.
+            assigned: Per-region current tier (indexable by region id).
+            window: The profile window the moves were issued in.
+
+        Returns:
+            Thrash pairs completed by this window's moves.
+        """
+        thrashed = 0
+        for rid, dst in moves.items():
+            src = int(assigned[rid])
+            if dst == src:
+                continue
+            direction = PROMOTE if dst < src else DEMOTE
+            if self.note(rid, window, direction):
+                thrashed += 1
+        return thrashed
+
+
+def install_thrash_counter(obs, policy_name: str):
+    """The ``repro_arena_thrash_total`` counter for ``obs``, pre-seeded.
+
+    Returns ``None`` when ``obs`` is absent or its registry is disabled.
+    The counter is seeded with a zero-valued series for the policy label
+    so a policy that never thrashes (the Jenga guarantee) still exports
+    the metric at 0 rather than omitting it.
+    """
+    registry = getattr(obs, "registry", None)
+    if registry is None or not registry.enabled:
+        return None
+    counter = registry.counter(THRASH_METRIC, THRASH_HELP)
+    counter.inc(0, policy=policy_name)
+    return counter

@@ -1,0 +1,57 @@
+"""Adversarial promote/demote ping-pong workload.
+
+The hot half of the address space flips every ``phase_windows`` windows:
+whatever a reactive policy just promoted turns cold before the migration
+pays for itself, and whatever it demoted turns hot again.  This is the
+arena's thrash stressor -- TPP-style reactive promotion ping-pongs
+(nonzero ``repro_arena_thrash_total``) while Jenga's payback gate
+observes the short hot episodes and refuses the promotions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class PingPongWorkload(Workload):
+    """Hot set alternating between the two halves of the page space.
+
+    Args:
+        num_pages: Page-id space (halved into the two phases).
+        ops_per_window: Accesses per window.
+        phase_windows: Windows between hot-half flips.  The default (2)
+            keeps every hot episode shorter than Jenga's default
+            migration payback, the adversarial regime.
+        hot_access_prob: Probability an access lands in the hot half.
+        seed: RNG seed.
+    """
+
+    name = "pingpong"
+    write_fraction = 0.2
+
+    def __init__(
+        self,
+        num_pages: int = 4096,
+        ops_per_window: int = 20_000,
+        phase_windows: int = 2,
+        hot_access_prob: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_pages, ops_per_window, seed=seed)
+        if phase_windows < 1:
+            raise ValueError("phase_windows must be >= 1")
+        if not 0.0 <= hot_access_prob <= 1.0:
+            raise ValueError("hot_access_prob must be in [0, 1]")
+        self.phase_windows = phase_windows
+        self.hot_access_prob = hot_access_prob
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        half = self.num_pages // 2
+        phase = (self.window // self.phase_windows) % 2
+        lo = half * phase
+        in_hot = rng.random(self.ops_per_window) < self.hot_access_prob
+        hot_ids = rng.integers(lo, lo + half, size=self.ops_per_window)
+        cold_ids = rng.integers(0, self.num_pages, size=self.ops_per_window)
+        return np.where(in_hot, hot_ids, cold_ids)

@@ -19,6 +19,7 @@ from repro.workloads.graphsage import GraphSAGEWorkload
 from repro.workloads.kv import KVWorkload
 from repro.workloads.live import TenantChurnWorkload, diurnal_kv, flash_crowd_kv
 from repro.workloads.masim import MasimWorkload
+from repro.workloads.pingpong import PingPongWorkload
 from repro.workloads.trace import TraceWorkload
 from repro.workloads.xsbench import XSBenchWorkload
 
@@ -162,6 +163,17 @@ WORKLOADS: dict[str, WorkloadSpec] = {
             paper_rss_gb=0.0,
             compressibility_profile="mixed",
             factory=flash_crowd_kv,
+            table=False,
+        ),
+        WorkloadSpec(
+            name="pingpong",
+            description=(
+                "Adversarial thrash stressor: the hot half of the page "
+                "space flips every phase_windows windows."
+            ),
+            paper_rss_gb=0.0,
+            compressibility_profile="mixed",
+            factory=PingPongWorkload,
             table=False,
         ),
         WorkloadSpec(

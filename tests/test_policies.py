@@ -1,0 +1,269 @@
+"""Tests for the extensible policy registry and the arena competitors.
+
+Covers the registry contract (late registration flows through spec
+validation; typos fail eagerly), the TPP/Jenga/OBASE competitor
+policies end-to-end through Session / fleet / serve, the thrash
+differential the arena leaderboard ranks on, and hypothesis property
+suites asserting the new policies preserve the chaos capacity
+invariants on every window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.invariants import check_capacity
+from repro.engine.session import Session
+from repro.engine.spec import ScenarioSpec
+from repro.fleet import FleetRunner, FleetSpec
+from repro.obs import Observability
+from repro.policies import (
+    THRASH_METRIC,
+    PolicyInfo,
+    make_policy,
+    policy_info,
+    policy_names,
+    policy_rows,
+    register_policy,
+    unregister_policy,
+    validate_policy,
+)
+from repro.policies.jenga import JengaPolicy
+from repro.policies.obase import ObasePolicy
+from repro.policies.thrash import DEMOTE, PROMOTE, ThrashTracker
+
+NEW_POLICIES = ("tpp", "jenga", "obase")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = policy_names()
+        for name in (
+            "waterfall",
+            "am",
+            "am-tco",
+            "am-perf",
+            "hemem",
+            "tpp",
+            "jenga",
+            "obase",
+        ):
+            assert name in names
+
+    def test_rows_cover_every_policy(self):
+        rows = policy_rows()
+        assert {row["policy"] for row in rows} == set(policy_names())
+        assert all(row["description"] for row in rows)
+
+    def test_validate_unknown_lists_names(self):
+        with pytest.raises(ValueError, match="waterfall"):
+            validate_policy("watrfall")
+
+    def test_make_policy_unknown_keeps_keyerror_contract(self):
+        # Historic contract: callers distinguish an unknown *name*
+        # (KeyError) from an invalid *configuration* (ValueError).
+        with pytest.raises(KeyError):
+            make_policy("autonuma")
+
+    def test_alpha_required(self):
+        with pytest.raises(ValueError, match="alpha"):
+            make_policy("am")
+
+    def test_late_registration_flows_through_spec_validation(self):
+        """Satellite 2: a backend registered after import is accepted by
+        ScenarioSpec eagerly, because validation goes through the live
+        registry rather than a frozen name list."""
+        info = PolicyInfo(
+            name="test-noop",
+            description="test-only no-op policy",
+            factory=lambda mix, percentile, alpha, solver_backend: (
+                make_policy("hemem", mix=mix, percentile=percentile)
+            ),
+        )
+        register_policy(info)
+        try:
+            spec = ScenarioSpec(
+                workload="masim",
+                workload_kwargs={"num_pages": 512, "ops_per_window": 500},
+                windows=1,
+                policy="test-noop",
+            )
+            assert spec.policy == "test-noop"
+            assert policy_info("test-noop") is info
+        finally:
+            unregister_policy("test-noop")
+        with pytest.raises(ValueError):
+            ScenarioSpec(workload="masim", windows=1, policy="test-noop")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy(policy_info("tpp"))
+
+    def test_spec_typo_fails_eagerly(self):
+        with pytest.raises(ValueError, match="available"):
+            ScenarioSpec(workload="masim", windows=1, policy="watrefall")
+
+
+class TestThrashTracker:
+    def test_reversal_within_window_counts(self):
+        t = ThrashTracker(window_limit=4)
+        assert not t.note(7, 0, PROMOTE)
+        assert t.note(7, 3, DEMOTE)
+        assert t.thrash_total == 1
+
+    def test_reversal_outside_window_does_not_count(self):
+        t = ThrashTracker(window_limit=4)
+        t.note(7, 0, PROMOTE)
+        assert not t.note(7, 6, DEMOTE)
+        assert t.thrash_total == 0
+
+    def test_same_direction_never_counts(self):
+        t = ThrashTracker(window_limit=4)
+        t.note(7, 0, DEMOTE)
+        assert not t.note(7, 1, DEMOTE)
+        assert t.thrash_total == 0
+
+
+def _session(policy: str, workload: str = "masim", *, windows=4, seed=3):
+    spec = ScenarioSpec(
+        workload=workload,
+        workload_kwargs={"num_pages": 1024, "ops_per_window": 2000},
+        windows=windows,
+        policy=policy,
+        seed=seed,
+    )
+    return Session(spec, obs=Observability(metrics=True))
+
+
+class TestCompetitorsEndToEnd:
+    @pytest.mark.parametrize("policy", NEW_POLICIES)
+    def test_session_runs_and_emits_thrash_metric(self, policy):
+        session = _session(policy)
+        summary = session.run()
+        assert summary.windows == 4
+        series = (
+            session.obs.registry.snapshot()
+            .get(THRASH_METRIC, {})
+            .get("series", {})
+        )
+        # The counter is pre-seeded at 0, so every policy exports it
+        # even when it never thrashes.
+        assert series, f"{policy} did not export {THRASH_METRIC}"
+
+    def test_thrash_differential_on_pingpong(self):
+        """Acceptance: the adversarial ping-pong workload makes the
+        reactive TPP policy thrash but never the payback-gated Jenga."""
+        kwargs = {"num_pages": 2048, "ops_per_window": 4000}
+        spec = dict(workload="pingpong", workload_kwargs=kwargs, windows=8)
+        tpp = Session(ScenarioSpec(policy="tpp", seed=3, **spec))
+        tpp.run()
+        jenga = Session(ScenarioSpec(policy="jenga", seed=3, **spec))
+        jenga.run()
+        inner_tpp = getattr(tpp.policy, "primary", tpp.policy)
+        inner_jenga = getattr(jenga.policy, "primary", jenga.policy)
+        assert inner_tpp.thrash_total > 0
+        assert inner_jenga.thrash_total == 0
+        assert inner_jenga.deferred_promotions > 0
+
+    @pytest.mark.parametrize("policy", NEW_POLICIES)
+    def test_fleet_parallel_matches_serial(self, policy):
+        spec = FleetSpec(
+            nodes=4, profile="micro", windows=2, seed=2, policy=policy
+        )
+        serial = FleetRunner(spec, jobs=1).run()
+        parallel = FleetRunner(spec, jobs=2).run()
+        for a, b in zip(serial.summaries, parallel.summaries):
+            assert a == b
+
+    def test_fleet_mixed_policy_cycle(self):
+        spec = FleetSpec(
+            nodes=3, profile="micro", windows=2, seed=2,
+            policies=NEW_POLICIES,
+        )
+        result = FleetRunner(spec, jobs=1).run()
+        assert [n.spec.policy for n in result.nodes] == list(NEW_POLICIES)
+
+    @pytest.mark.parametrize("policy", NEW_POLICIES)
+    def test_serve_daemon_runs_policy(self, policy):
+        from repro.serve import ServeDaemon, ServeOptions
+
+        spec = ScenarioSpec(
+            workload="masim",
+            workload_kwargs={"num_pages": 1024, "ops_per_window": 1500},
+            windows=3,
+            policy=policy,
+            seed=4,
+        )
+        daemon = ServeDaemon(
+            spec, ServeOptions(virtual_clock=True, http=False, max_windows=3)
+        )
+        report = asyncio.run(daemon.run())
+        assert report.windows == 3
+        assert THRASH_METRIC in daemon.metrics_text()
+
+
+class TestObase:
+    def test_alloc_sites_group_pages(self):
+        session = _session("obase")
+        pt = session.system.space.page_table
+        sites = pt.alloc_site
+        assert sites.dtype == np.int32
+        # Sites are contiguous runs strictly smaller than a region, so
+        # there are more sites than regions and ids are non-decreasing.
+        assert sites.max() + 1 > session.system.space.num_regions
+        assert np.all(np.diff(sites) >= 0)
+
+    def test_object_hotness_shape(self):
+        session = _session("obase")
+        session.run_window()
+        record = session.daemon.records[-1]
+        inner = getattr(session.policy, "primary", session.policy)
+        assert isinstance(inner, ObasePolicy)
+        hot, counts = inner.object_hotness(record, session.system)
+        assert hot.shape == counts.shape
+        assert int(counts.sum()) == session.system.space.num_pages
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    policy=st.sampled_from(NEW_POLICIES),
+    seed=st.integers(0, 10_000),
+    windows=st.integers(1, 4),
+)
+def test_policies_preserve_capacity_invariants(policy, seed, windows):
+    """Satellite 3: every competitor preserves the chaos accounting
+    invariants (placement counts, byte-tier capacity, compressed-tier
+    accounting) after every window it recommends."""
+    spec = ScenarioSpec(
+        workload="masim",
+        workload_kwargs={"num_pages": 1024, "ops_per_window": 1000},
+        windows=windows,
+        policy=policy,
+        seed=seed,
+    )
+    session = Session(spec)
+    for _ in range(windows):
+        session.run_window()
+        check_capacity(session.system)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_jenga_never_thrashes_on_pingpong(seed):
+    """The payback gate is seed-robust, not tuned to one seed."""
+    spec = ScenarioSpec(
+        workload="pingpong",
+        workload_kwargs={"num_pages": 2048, "ops_per_window": 4000},
+        windows=8,
+        policy="jenga",
+        seed=seed,
+    )
+    session = Session(spec)
+    session.run()
+    inner = getattr(session.policy, "primary", session.policy)
+    assert inner.thrash_total == 0
