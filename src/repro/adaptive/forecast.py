@@ -1,0 +1,133 @@
+"""Predictive hotness: EWMA slope + a per-region Markov state model.
+
+The reactive policies all share one blind spot: they see a region get
+hot only *after* the fault burst that proves it (TPP promotes on the
+first hot window, the waterfall one window later).  The forecaster
+closes that gap with two cheap, fully vectorized estimators over the
+SoA hotness column (:attr:`repro.mem.pagetable.PageTable.region_hotness`):
+
+* an **EWMA slope** per region -- the exponentially weighted
+  window-over-window hotness delta.  ``predicted = hotness + slope``
+  extrapolates one window ahead, which is exactly the horizon the
+  placement model plans for;
+* a **Markov transition model** -- each window every region's hotness
+  is discretized into one of ``num_states`` bands (relative to the
+  window max, so the states are scale-free), and the shared
+  ``states x states`` transition-count matrix is updated with one
+  ``np.add.at``.  A region's row then gives the empirical probability
+  that it jumps into the hot band next window.
+
+:meth:`HotnessForecaster.promotion_candidates` combines both: a region
+that is *not yet* hot but is rising (positive slope) and has a high
+modeled hot-transition probability is a speculative-promotion
+candidate -- the page gets to DRAM ahead of the burst instead of being
+faulted there.  Everything is deterministic: no RNG, plain float64
+numpy, so the forecast state pickles through checkpoints and a resumed
+run continues the exact trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class HotnessForecaster:
+    """One-window-ahead hotness prediction over the region columns.
+
+    Args:
+        num_regions: Regions in the address space (fixes array shapes).
+        num_states: Hotness bands for the Markov model (>= 2); the top
+            third (at least one) of the bands is the *hot band*.
+        ewma: Weight of the newest window-over-window delta in the
+            slope estimate, in ``(0, 1]``.
+    """
+
+    def __init__(
+        self, num_regions: int, num_states: int = 6, ewma: float = 0.4
+    ) -> None:
+        if num_regions < 1:
+            raise ValueError("num_regions must be >= 1")
+        if num_states < 2:
+            raise ValueError("num_states must be >= 2")
+        if not 0.0 < ewma <= 1.0:
+            raise ValueError("ewma must be in (0, 1]")
+        self.num_regions = int(num_regions)
+        self.num_states = int(num_states)
+        self.ewma = float(ewma)
+        #: First state index counted as "hot" (the top third of bands).
+        self.hot_state = num_states - max(1, num_states // 3)
+        self.windows_observed = 0
+        self.slope = np.zeros(num_regions, dtype=np.float64)
+        self.transitions = np.zeros(
+            (num_states, num_states), dtype=np.float64
+        )
+        self._prev_hotness: np.ndarray | None = None
+        self._state = np.zeros(num_regions, dtype=np.int64)
+
+    def _discretize(self, hotness: np.ndarray) -> np.ndarray:
+        """Scale-free banding: states relative to the window max."""
+        peak = float(hotness.max()) if hotness.size else 0.0
+        if peak <= 0.0:
+            return np.zeros(self.num_regions, dtype=np.int64)
+        state = np.floor(
+            hotness * (self.num_states / peak)
+        ).astype(np.int64)
+        np.clip(state, 0, self.num_states - 1, out=state)
+        return state
+
+    def observe(self, hotness: np.ndarray) -> np.ndarray:
+        """Fold one window's hotness in; return the predicted next one.
+
+        The transition matrix learns ``state[t-1] -> state[t]`` for all
+        regions in one ``np.add.at``; the slope folds the new delta.
+        """
+        hotness = np.asarray(hotness, dtype=np.float64)
+        if hotness.shape != (self.num_regions,):
+            raise ValueError(
+                f"hotness has shape {hotness.shape}, "
+                f"expected ({self.num_regions},)"
+            )
+        state = self._discretize(hotness)
+        if self._prev_hotness is not None:
+            delta = hotness - self._prev_hotness
+            self.slope += self.ewma * (delta - self.slope)
+            np.add.at(self.transitions, (self._state, state), 1.0)
+        self._prev_hotness = hotness.copy()
+        self._state = state
+        self.windows_observed += 1
+        return self.predicted()
+
+    def predicted(self) -> np.ndarray:
+        """Hotness extrapolated one window ahead (slope, floored at 0)."""
+        if self._prev_hotness is None:
+            return np.zeros(self.num_regions, dtype=np.float64)
+        return np.maximum(self._prev_hotness + self.slope, 0.0)
+
+    def transition_matrix(self) -> np.ndarray:
+        """Row-normalized transition probabilities (zero rows stay 0)."""
+        totals = self.transitions.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            probs = np.where(totals > 0, self.transitions / totals, 0.0)
+        return probs
+
+    def hot_probability(self) -> np.ndarray:
+        """Per-region modeled probability of being in the hot band next
+        window, read off each region's current-state row."""
+        probs = self.transition_matrix()
+        to_hot = probs[:, self.hot_state :].sum(axis=1)
+        return to_hot[self._state]
+
+    def promotion_candidates(self, threshold: float) -> np.ndarray:
+        """Regions worth promoting *before* their fault burst.
+
+        A candidate is currently outside the hot band (promoting
+        already-hot regions is the reactive policy's job), rising
+        (positive EWMA slope), and modeled to enter the hot band with
+        probability >= ``threshold``.
+        """
+        if self._prev_hotness is None:
+            return np.zeros(self.num_regions, dtype=bool)
+        not_hot = self._state < self.hot_state
+        rising = self.slope > 0.0
+        likely = self.hot_probability() >= threshold
+        return not_hot & rising & likely

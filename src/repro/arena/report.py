@@ -20,6 +20,9 @@ import json
 from pathlib import Path
 
 #: Leaderboard columns, in column order, with their md/csv formatting.
+#: ``sla_violations`` only exists when the arena ran with a
+#: ``target_slowdown`` budget; it is dropped from the rendering
+#: otherwise so budget-less leaderboards stay byte-identical to PR-9.
 LEADERBOARD_COLUMNS = (
     ("rank", "{}"),
     ("cell_id", "{}"),
@@ -27,11 +30,19 @@ LEADERBOARD_COLUMNS = (
     ("tco_savings_pct", "{:.2f}"),
     ("saved_dollars_month", "{:.2f}"),
     ("slowdown_pct", "{:.2f}"),
+    ("sla_violations", "{}"),
     ("p99_latency_ns", "{:.1f}"),
     ("pages_migrated", "{}"),
     ("thrash", "{}"),
     ("solver_ms", "{:.3f}"),
 )
+
+
+def _columns(rows: list[dict]) -> list[tuple[str, str]]:
+    """The columns applicable to these rows (see LEADERBOARD_COLUMNS)."""
+    if any("sla_violations" in row for row in rows):
+        return list(LEADERBOARD_COLUMNS)
+    return [c for c in LEADERBOARD_COLUMNS if c[0] != "sla_violations"]
 
 
 def _rank_key(row: dict):
@@ -56,7 +67,8 @@ def leaderboard_rows(results) -> list[dict]:
 
 def render_markdown(rows: list[dict]) -> str:
     """The leaderboard as a GitHub-flavoured markdown table."""
-    headers = [name for name, _ in LEADERBOARD_COLUMNS]
+    columns = _columns(rows)
+    headers = [name for name, _ in columns]
     lines = [
         "# Policy arena leaderboard",
         "",
@@ -64,18 +76,17 @@ def render_markdown(rows: list[dict]) -> str:
         "|" + "|".join("---" for _ in headers) + "|",
     ]
     for row in rows:
-        cells = [fmt.format(row[name]) for name, fmt in LEADERBOARD_COLUMNS]
+        cells = [fmt.format(row[name]) for name, fmt in columns]
         lines.append("| " + " | ".join(cells) + " |")
     return "\n".join(lines) + "\n"
 
 
 def render_csv(rows: list[dict]) -> str:
     """The leaderboard as CSV (same columns and formatting as the md)."""
-    lines = [",".join(name for name, _ in LEADERBOARD_COLUMNS)]
+    columns = _columns(rows)
+    lines = [",".join(name for name, _ in columns)]
     for row in rows:
-        lines.append(
-            ",".join(fmt.format(row[name]) for name, fmt in LEADERBOARD_COLUMNS)
-        )
+        lines.append(",".join(fmt.format(row[name]) for name, fmt in columns))
     return "\n".join(lines) + "\n"
 
 

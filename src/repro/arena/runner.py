@@ -69,13 +69,15 @@ class ArenaResult:
         return all(cell.status == "ok" for cell in self.cells)
 
 
-def _run_cell(payload: tuple[ArenaCell, float]) -> CellResult:
+def _run_cell(
+    payload: tuple[ArenaCell, float, float | None],
+) -> CellResult:
     """Worker body: one cell, one session, one metrics registry.
 
     Module-level so the process pool can pickle it; also the ``jobs=1``
     inline path, so both paths share every byte of behaviour.
     """
-    cell, node_memory_gb = payload
+    cell, node_memory_gb, target_slowdown = payload
     start = time.perf_counter()
     result = CellResult(
         cell_id=cell.cell_id,
@@ -139,6 +141,36 @@ def _run_cell(payload: tuple[ArenaCell, float]) -> CellResult:
         "faults": int(summary.total_faults),
         "windows": summary.windows,
     }
+    if target_slowdown is not None:
+        # Per-window SLA verdict: how many profile windows ran slower
+        # than the arena's slowdown budget.  Computed for *every* cell
+        # (static alphas included) so the leaderboard can answer "best
+        # dollars among SLA-meeting cells", not just "best dollars".
+        read_ns = session.system.dram.media.read_ns
+        violations = 0
+        for rec in session.records:
+            optimal_ns = rec.accesses * read_ns
+            window_slowdown = (
+                (rec.access_ns - optimal_ns) / optimal_ns
+                if optimal_ns
+                else 0.0
+            )
+            if window_slowdown > target_slowdown:
+                violations += 1
+        result.row["sla_violations"] = violations
+    tuner = getattr(inner, "controller", None)
+    if tuner is not None and hasattr(tuner, "alpha"):
+        # Adaptive cells publish their trajectory endpoints so the
+        # leaderboard JSON shows *where* the controller converged (all
+        # deterministic -- the trace is a pure function of the seed).
+        result.row.update(
+            alpha_final=round(float(tuner.alpha), 9),
+            adaptive_steps=int(tuner.steps_total),
+            adaptive_violations=int(tuner.violations),
+            alpha_trace=[
+                round(float(a), 9) for a in tuner.alpha_trajectory()
+            ],
+        )
     result.wall_s = time.perf_counter() - start
     return result
 
@@ -161,7 +193,9 @@ def run_arena(
     """
     start = time.perf_counter()
     cells = spec.cells()
-    payloads = [(cell, spec.node_memory_gb) for cell in cells]
+    payloads = [
+        (cell, spec.node_memory_gb, spec.target_slowdown) for cell in cells
+    ]
     if jobs <= 1 or len(cells) <= 1:
         results = [_run_cell(payload) for payload in payloads]
     else:

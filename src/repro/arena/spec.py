@@ -56,6 +56,13 @@ class ArenaSpec:
         node_memory_gb: Modeled per-node memory for the dollar column.
         workload_kwargs: Extra factory kwargs applied to every cell
             (tests shrink cells with ``num_pages``/``ops_per_window``).
+        target_slowdown: When set, every ``adaptive`` cell's scenario
+            gets this p99 SLA budget (an ``adaptive`` knob block); other
+            policies are unaffected.  ``None`` keeps the controller
+            defaults.
+        adaptive: Full adaptive knob block applied to ``adaptive``
+            cells (an :class:`~repro.adaptive.controller.AdaptiveConfig`
+            dict); overrides ``target_slowdown`` when both are given.
     """
 
     policies: tuple[str, ...] = DEFAULT_POLICIES
@@ -68,6 +75,8 @@ class ArenaSpec:
     seed: int = 0
     node_memory_gb: float = 256.0
     workload_kwargs: dict = field(default_factory=dict)
+    target_slowdown: float | None = None
+    adaptive: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -90,6 +99,33 @@ class ArenaSpec:
             raise ValueError("windows must be >= 1")
         if self.scale <= 0:
             raise ValueError("scale must be > 0")
+        if self.target_slowdown is not None and self.target_slowdown <= 0:
+            raise ValueError("target_slowdown must be > 0")
+        if self.adaptive is not None:
+            from repro.adaptive import AdaptiveConfig
+
+            object.__setattr__(
+                self,
+                "adaptive",
+                AdaptiveConfig.from_dict(self.adaptive).to_dict(),
+            )
+
+    def _adaptive_block(self) -> dict | None:
+        """The adaptive knob block ``adaptive`` cells receive.
+
+        ``target_slowdown`` selects the ``mean`` signal: the arena's
+        ``sla_violations`` verdict is counted on mean window slowdown,
+        and the controller must steer by the same signal it is judged
+        on.
+        """
+        if self.adaptive is not None:
+            return dict(self.adaptive)
+        if self.target_slowdown is not None:
+            return {
+                "target_slowdown": self.target_slowdown,
+                "signal": "mean",
+            }
+        return None
 
     def to_dict(self) -> dict:
         data = asdict(self)
@@ -115,6 +151,7 @@ class ArenaSpec:
         points = self.grid()
         seeds = spawn_seeds(self.seed, len(points))
         cells = []
+        adaptive_block = self._adaptive_block()
         for (policy, workload, alpha), seed in zip(points, seeds):
             tag = f"{policy}@{alpha:g}" if alpha is not None else policy
             cell_id = f"{tag}/{workload}"
@@ -129,6 +166,7 @@ class ArenaSpec:
                 alpha=alpha,
                 windows=self.windows,
                 seed=seed,
+                adaptive=adaptive_block if policy == "adaptive" else None,
             )
             cells.append(
                 ArenaCell(

@@ -214,6 +214,7 @@ def _run_scenario_file(path: str, args) -> int:
             + ", ".join(str(w) for w in burst_windows)
         )
     _print_chaos_summary(session)
+    _maybe_write_adaptive_trace(args, session.policy)
     if args.out:
         if stream_out:
             print(f"event stream written to {args.out}")
@@ -225,6 +226,47 @@ def _run_scenario_file(path: str, args) -> int:
     if args.trace:
         print(f"trace written to {write_chrome_trace(obs.span_dicts(), args.trace)}")
     return 0
+
+
+def _write_adaptive_trace(policy, path) -> bool:
+    """Dump a self-tuning policy's decision trace as JSON.
+
+    Returns whether the policy had a trace to write (looks through a
+    resilient wrapper, like the session's observe hook does).
+    """
+    import json
+
+    inner = getattr(policy, "primary", policy)
+    trace_fn = getattr(inner, "decision_trace", None)
+    if trace_fn is None:
+        return False
+    controller = getattr(inner, "controller", None)
+    doc = {
+        "policy": getattr(inner, "name", "?"),
+        "alpha": getattr(controller, "alpha", None),
+        "demotion_percentile": getattr(
+            controller, "demotion_percentile", None
+        ),
+        "steps": getattr(controller, "steps_total", 0),
+        "seed": getattr(controller, "seed", None),
+        "trace": trace_fn(),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return True
+
+
+def _maybe_write_adaptive_trace(args, policy) -> None:
+    path = getattr(args, "adaptive_trace", None)
+    if not path:
+        return
+    if _write_adaptive_trace(policy, path):
+        print(f"adaptive decision trace written to {path}")
+    else:
+        print(
+            "--adaptive-trace ignored: the policy keeps no decision trace "
+            "(use policy = \"adaptive\")",
+            file=sys.stderr,
+        )
 
 
 def _print_chaos_summary(session) -> None:
@@ -321,6 +363,7 @@ def cmd_arena(args) -> int:
             percentile=args.percentile,
             seed=args.seed,
             node_memory_gb=args.node_memory_gb,
+            target_slowdown=args.target_slowdown,
             **kwargs,
         )
     except ValueError as exc:
@@ -640,6 +683,7 @@ def cmd_serve(args) -> int:
     summary = daemon.session.summary()
     print(format_table([summary.row()], title=daemon.session.spec.label))
     _print_chaos_summary(daemon.session)
+    _maybe_write_adaptive_trace(args, daemon.session.policy)
     if daemon.rejected_events:
         print(f"rejected {daemon.rejected_events} out-of-range event(s)")
     if report.checkpoint:
@@ -820,6 +864,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Prometheus textfile (scenario runs)",
     )
+    run.add_argument(
+        "--adaptive-trace",
+        default=None,
+        help="write the adaptive controller's decision trace as JSON "
+        "(scenario runs with policy = adaptive)",
+    )
     run.set_defaults(func=cmd_run)
 
     arena = sub.add_parser(
@@ -863,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=256.0,
         help="modeled per-node memory for the dollar column",
+    )
+    arena.add_argument(
+        "--target-slowdown",
+        type=float,
+        default=None,
+        help="p99 SLA budget handed to adaptive cells (fractional "
+        "slowdown vs all-DRAM; default: controller default)",
     )
     arena.add_argument(
         "--out",
@@ -1047,6 +1104,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         default=None,
         help="write a Prometheus textfile at drain",
+    )
+    serve.add_argument(
+        "--adaptive-trace",
+        default=None,
+        help="write the adaptive controller's decision trace as JSON "
+        "at drain",
     )
     serve.set_defaults(func=cmd_serve)
 

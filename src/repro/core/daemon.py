@@ -51,6 +51,9 @@ class WindowRecord:
         migration_wall_ns: Migration wave wall time.
         solver_ns: Solver wall time spent this window.
         hotness: Region hotness snapshot.
+        p99_latency_ns: Exact weighted p99 per-access latency over this
+            window's histogram (the adaptive controller's SLA signal;
+            defaulted so pre-PR-10 checkpoints still unpickle).
     """
 
     window: int
@@ -65,6 +68,34 @@ class WindowRecord:
     migration_wall_ns: float
     solver_ns: float
     hotness: np.ndarray
+    p99_latency_ns: float = 0.0
+
+
+def window_percentile(
+    histogram: list[tuple[float, int]], p: float
+) -> float:
+    """Exact weighted nearest-rank percentile of one window's histogram.
+
+    Unlike the run-level :class:`_LatencyAccumulator` (log-binned for
+    bounded memory over 10k-window runs), a single window's histogram is
+    small enough to sort exactly, so the per-window signal carries no
+    binning error.
+    """
+    if not histogram:
+        return 0.0
+    pairs = np.asarray(histogram, dtype=np.float64).reshape(-1, 2)
+    values, weights = pairs[:, 0], pairs[:, 1]
+    keep = weights > 0
+    if not keep.all():
+        values, weights = values[keep], weights[keep]
+    if values.size == 0:
+        return 0.0
+    order = np.argsort(values, kind="stable")
+    values, weights = values[order], weights[order]
+    cum = np.cumsum(weights)
+    target = cum[-1] * p / 100.0
+    idx = int(np.searchsorted(cum, target, side="left"))
+    return float(values[min(idx, values.size - 1)])
 
 
 #: Log-scale histogram geometry for :class:`_LatencyAccumulator`, shared
@@ -305,6 +336,7 @@ class TSDaemon:
             migration_wall_ns=migration_wall_ns,
             solver_ns=solver_ns,
             hotness=record.hotness,
+            p99_latency_ns=window_percentile(batch.latency_histogram, 99.0),
         )
         self.records.append(window_record)
         self._m_windows.inc()

@@ -38,6 +38,12 @@ class SLOController:
         backoff_gain: Multiplicative step toward 1.0 on SLA violation.
         harvest_step: Additive step toward 0.0 when under target.
         min_alpha / max_alpha: Clamp range for the knob.
+        history_limit: Ring-buffer cap on ``history``.  Long serve runs
+            observe once per window forever; an unbounded history was a
+            slow leak that also bloated every drain checkpoint.
+        violations_total: All-time violation count (survives the ring
+            buffer; carried through checkpoint/resume like the rest of
+            the controller state).
     """
 
     target_slowdown: float
@@ -46,7 +52,9 @@ class SLOController:
     harvest_step: float = 0.05
     min_alpha: float = 0.05
     max_alpha: float = 1.0
+    history_limit: int = 256
     history: list[tuple[float, float]] = field(default_factory=list)
+    violations_total: int = 0
 
     def __post_init__(self) -> None:
         if self.target_slowdown < 0:
@@ -57,6 +65,8 @@ class SLOController:
             raise ValueError("backoff_gain must be in (0, 1)")
         if self.harvest_step <= 0:
             raise ValueError("harvest_step must be > 0")
+        if self.history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
         self.alpha = min(self.max_alpha, max(self.min_alpha, self.alpha))
 
     def observe(self, measured_slowdown: float) -> Knob:
@@ -66,8 +76,11 @@ class SLOController:
             The knob to use for the next window.
         """
         self.history.append((self.alpha, measured_slowdown))
+        if len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
         if measured_slowdown > self.target_slowdown:
             # SLA violated: jump alpha a fraction of the way to 1.0.
+            self.violations_total += 1
             self.alpha += (1.0 - self.alpha) * self.backoff_gain
         elif measured_slowdown < 0.8 * self.target_slowdown:
             # Comfortable headroom: harvest more TCO.
@@ -77,8 +90,9 @@ class SLOController:
 
     @property
     def violations(self) -> int:
-        """Windows whose measured slowdown exceeded the target."""
-        return sum(1 for _, s in self.history if s > self.target_slowdown)
+        """Windows whose measured slowdown exceeded the target (all
+        time, not just the retained history window)."""
+        return self.violations_total
 
     @property
     def headroom(self) -> float:

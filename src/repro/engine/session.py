@@ -129,6 +129,14 @@ class Session:
                 solver_backend=spec.solver_backend,
             )
         )
+        if policy is None:
+            # Registry-built policies may adopt spec-level knob blocks
+            # (the adaptive controller's config + derived seed).  Never
+            # called for prebuilt overrides: a checkpoint-restored
+            # policy must keep its mid-run state, not reset it.
+            configure = getattr(self.policy, "configure_from_spec", None)
+            if configure is not None:
+                configure(spec)
         if injector is not None:
             from repro.chaos.policies import ResilientModel
 
@@ -228,8 +236,23 @@ class Session:
                 pages_moved=pages_moved,
                 migration_ms=record.migration_wall_ns / 1e6,
             )
+        self._observe_window(record)
         self._check_fault_burst(record.window, faults)
         return record
+
+    def _observe_window(self, record: WindowRecord) -> None:
+        """Feed the closed window back to a self-tuning policy.
+
+        Looks through a resilient wrapper to its primary, so the
+        adaptive controller keeps learning under chaos.
+        """
+        policy = self.policy
+        observe = getattr(policy, "observe_window", None)
+        if observe is None:
+            primary = getattr(policy, "primary", None)
+            observe = getattr(primary, "observe_window", None)
+        if observe is not None:
+            observe(record, self.system)
 
     def _check_fault_burst(self, window: int, faults: int) -> None:
         history = self._fault_history

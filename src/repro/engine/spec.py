@@ -88,6 +88,12 @@ class ScenarioSpec:
             :class:`~repro.chaos.faults.FaultPlan` dict (``events`` list
             plus retry/recovery parameters); ``None`` runs fault-free.
             Validated and normalized eagerly, like every other field.
+        adaptive: Optional adaptive-controller knob block as an
+            :class:`~repro.adaptive.controller.AdaptiveConfig` dict
+            (targets, hysteresis, forecast knobs); ``None`` leaves the
+            policy's defaults.  Only policies with a
+            ``configure_from_spec`` hook (the ``adaptive`` backend)
+            consume it.  Validated and normalized eagerly.
     """
 
     name: str = ""
@@ -110,6 +116,7 @@ class ScenarioSpec:
     seed: int = 0
     daemon_seed: int | None = None
     faults: dict | None = None
+    adaptive: dict | None = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOADS:
@@ -158,6 +165,19 @@ class ScenarioSpec:
             # plans serialize identically.
             object.__setattr__(
                 self, "faults", FaultPlan.from_dict(self.faults).to_dict()
+            )
+        if self.adaptive is not None:
+            from repro.adaptive import AdaptiveConfig
+
+            if not isinstance(self.adaptive, dict):
+                raise ValueError(
+                    "adaptive must be a controller-config object "
+                    "(targets, hysteresis, forecast knobs)"
+                )
+            object.__setattr__(
+                self,
+                "adaptive",
+                AdaptiveConfig.from_dict(self.adaptive).to_dict(),
             )
 
     # -- derived values ------------------------------------------------------

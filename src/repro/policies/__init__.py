@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.adaptive import AdaptiveConfig, AdaptivePolicy
 from repro.core.knob import Knob
 from repro.core.placement.analytical import AnalyticalModel
 from repro.core.placement.base import PlacementModel
@@ -46,6 +47,8 @@ from repro.policies.obase import ObasePolicy
 from repro.policies.thrash import THRASH_METRIC, ThrashTracker
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptivePolicy",
     "JengaPolicy",
     "ObasePolicy",
     "PolicyInfo",
@@ -239,6 +242,17 @@ def _obase(mix, percentile, alpha, solver_backend):
     return ObasePolicy(percentile)
 
 
+def _adaptive(mix, percentile, alpha, solver_backend):
+    # ``alpha`` (when given) seeds the start point; the controller owns
+    # it from the first window on.  The scenario's ``adaptive`` block
+    # (see ScenarioSpec) replaces the default config via the session's
+    # configure_from_spec hook.
+    config = AdaptiveConfig()
+    if alpha is not None:
+        config = config.with_(start_alpha=float(alpha))
+    return AdaptivePolicy(config, solver_backend=solver_backend)
+
+
 for _info in (
     PolicyInfo(
         "hemem",
@@ -302,6 +316,13 @@ for _info in (
         "OBASE-inspired (arXiv 2603.00378): object/allocation-site "
         "granularity waterfall over the SoA alloc_site column",
         _obase,
+    ),
+    PolicyInfo(
+        "adaptive",
+        "online alpha tuning (p99 + $/GB-hour feedback) with predictive "
+        "hotness promotion; see docs/TUNING.md",
+        _adaptive,
+        analytical=True,
     ),
 ):
     register_policy(_info)

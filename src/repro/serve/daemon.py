@@ -221,11 +221,27 @@ class ServeDaemon:
         placement = system.placement_counts()
         degradation = None
         controller = getattr(self.session.policy, "controller", None)
-        if controller is not None:
+        # The chaos wrapper's DegradationController has levels; the
+        # adaptive policy's AdaptiveController does not -- distinguish
+        # by shape, since either may sit at ``policy.controller``.
+        if controller is not None and hasattr(controller, "level"):
             degradation = {
                 "level": controller.level,
                 "mode": controller.mode,
                 "transitions": len(controller.transitions),
+            }
+        adaptive = None
+        inner = getattr(self.session.policy, "primary", self.session.policy)
+        tuner = getattr(inner, "controller", None)
+        if tuner is not None and hasattr(tuner, "alpha"):
+            adaptive = {
+                "alpha": round(float(tuner.alpha), 6),
+                "demotion_percentile": round(
+                    float(tuner.demotion_percentile), 3
+                ),
+                "steps": int(tuner.steps_total),
+                "violations": int(tuner.violations),
+                "headroom": round(float(tuner.headroom), 6),
             }
         return {
             "windows": self.windows_done,
@@ -245,6 +261,7 @@ class ServeDaemon:
                 for i, tier in enumerate(system.tiers)
             ],
             "degradation": degradation,
+            "adaptive": adaptive,
             "stream": {
                 "kind": self.stream_spec.kind,
                 "rejected_events": self.rejected_events,

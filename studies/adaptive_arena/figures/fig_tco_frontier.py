@@ -1,0 +1,54 @@
+"""Regenerate this figure from the committed cell data.
+
+Self-contained: reads ``cells.json`` next to this script, prints an
+ASCII rendering, and writes a PNG when matplotlib is importable.
+Re-running the arena is never required to re-render the figure.
+
+Usage: python fig_tco_frontier.py
+"""
+
+import json
+from pathlib import Path
+
+ROWS = json.loads(
+    (Path(__file__).parent / "cells.json").read_text()
+)["leaderboard"]
+
+
+def main():
+    print("TCO-vs-performance frontier (one point per cell)")
+    print(f"{'cell':<28} {'slowdown%':>10} {'tco%':>8} {'$saved/mo':>10}")
+    for row in sorted(ROWS, key=lambda r: r["slowdown_pct"]):
+        print(
+            f"{row['cell_id']:<28} {row['slowdown_pct']:>10.2f} "
+            f"{row['tco_savings_pct']:>8.2f} "
+            f"{row['saved_dollars_month']:>10.2f}"
+        )
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("(matplotlib not available; ASCII rendering only)")
+        return
+    fig, ax = plt.subplots(figsize=(7, 5))
+    policies = sorted({row["policy"] for row in ROWS})
+    for policy in policies:
+        pts = [r for r in ROWS if r["policy"] == policy]
+        ax.scatter(
+            [p["slowdown_pct"] for p in pts],
+            [p["tco_savings_pct"] for p in pts],
+            label=policy,
+        )
+    ax.set_xlabel("slowdown vs all-DRAM (%)")
+    ax.set_ylabel("TCO savings (%)")
+    ax.set_title("Policy arena: TCO-vs-performance frontier")
+    ax.legend()
+    out = Path(__file__).parent / "tco_frontier.png"
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Regenerate this figure from the committed cell data.
+
+Self-contained: reads ``cells.json`` next to this script, prints an
+ASCII rendering, and writes a PNG when matplotlib is importable.
+Re-running the arena is never required to re-render the figure.
+
+Usage: python fig_thrash.py
+"""
+
+import json
+from pathlib import Path
+
+ROWS = json.loads(
+    (Path(__file__).parent / "cells.json").read_text()
+)["leaderboard"]
+
+
+def main():
+    print("Promote/demote thrash per cell (repro_arena_thrash_total)")
+    rows = sorted(ROWS, key=lambda r: (-r["thrash"], r["cell_id"]))
+    width = max((r["thrash"] for r in rows), default=0) or 1
+    for row in rows:
+        bar = "#" * round(40 * row["thrash"] / width)
+        print(f"{row['cell_id']:<28} {row['thrash']:>6}  {bar}")
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("(matplotlib not available; ASCII rendering only)")
+        return
+    fig, ax = plt.subplots(figsize=(7, 0.4 * len(rows) + 2))
+    ax.barh([r["cell_id"] for r in rows], [r["thrash"] for r in rows])
+    ax.invert_yaxis()
+    ax.set_xlabel("thrash count (migrations reversed within the window)")
+    ax.set_title("Policy arena: reactive ping-pong cost")
+    out = Path(__file__).parent / "thrash.png"
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

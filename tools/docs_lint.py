@@ -13,6 +13,10 @@ Two checks, run by the CI ``docs-lint`` job:
    ``<!-- cli: end -->`` in README.md matches the help text generated
    from ``repro.cli.build_parser()`` with ``COLUMNS=80`` pinned, so the
    committed reference can never drift from ``python -m repro --help``.
+3. **Required anchors** — operator guides other docs deep-link into
+   must keep their load-bearing headings (see ``REQUIRED_ANCHORS``);
+   renaming one breaks every cross-reference silently, so the lint
+   fails loudly instead.
 
 ``--write`` regenerates the README block in place instead of failing.
 
@@ -37,6 +41,18 @@ DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
 
 CLI_BEGIN = "<!-- cli: begin -->"
 CLI_END = "<!-- cli: end -->"
+
+#: Heading anchors a doc must keep because other docs deep-link to
+#: them (repo-relative path -> required GitHub anchor slugs).
+REQUIRED_ANCHORS: dict[str, tuple[str, ...]] = {
+    "docs/TUNING.md": (
+        "signal-sources",
+        "knob-semantics",
+        "hysteresis-knobs",
+        "reading-the-decision-trace",
+        "worked-example-alpha-drifting-under-diurnal-load",
+    ),
+}
 
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
 _HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
@@ -124,6 +140,23 @@ def check_links(paths: list[Path]) -> list[str]:
     return errors
 
 
+def check_required_anchors() -> list[str]:
+    errors: list[str] = []
+    for rel, anchors in REQUIRED_ANCHORS.items():
+        path = ROOT / rel
+        if not path.exists():
+            errors.append(f"{rel}: required doc is missing")
+            continue
+        slugs = heading_slugs(path.read_text())
+        for anchor in anchors:
+            if anchor not in slugs:
+                errors.append(
+                    f"{rel}: required anchor #{anchor} has no heading "
+                    "(other docs deep-link to it)"
+                )
+    return errors
+
+
 def generate_cli_reference() -> str:
     """The README CLI block, from the live parser at a pinned width."""
     os.environ["COLUMNS"] = "80"
@@ -177,12 +210,14 @@ def main(argv: list[str] | None = None) -> int:
     args = cli.parse_args(argv)
     paths = doc_paths()
     errors = check_links(paths)
+    errors += check_required_anchors()
     errors += check_cli_reference(write=args.write)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
         print(
-            f"docs OK: {len(paths)} files, links + CLI reference clean"
+            f"docs OK: {len(paths)} files, links + anchors + "
+            "CLI reference clean"
         )
     return 1 if errors else 0
 
